@@ -1,0 +1,285 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// the switch-allocation window (head-of-line blocking), the adaptive
+// congestion signal (VOQ load vs output buffer only), the all-to-all
+// injection order (sprayed vs synchronized), the Slim Fly endpoint
+// rounding (the paper's floor-vs-ceil discussion), and local vs
+// global UGAL knowledge.
+package diam2_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"diam2"
+)
+
+// runUniform runs open-loop uniform traffic on a topology with a
+// custom simulator config and returns the results.
+func runUniform(b *testing.B, tp diam2.Topology, alg diam2.RoutingAlgorithm, cfg diam2.SimConfig, load float64, cycles int64) diam2.Results {
+	b.Helper()
+	net, err := diam2.NewNetwork(tp, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &diam2.OpenLoop{Pattern: diam2.Uniform{N: tp.Nodes()}, Load: load, PacketFlits: cfg.PacketFlits()}
+	e, err := diam2.NewEngine(net, alg, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Warmup = cycles / 5
+	e.Run(cycles)
+	return e.Results()
+}
+
+// BenchmarkAblationAllocWindow shows the head-of-line blocking cliff:
+// with a window of 1 the switch degenerates to FIFO input queueing
+// and uniform saturation collapses toward the classic ~0.59 bound;
+// widening the window recovers the paper's near-full saturation.
+func BenchmarkAblationAllocWindow(b *testing.B) {
+	tp, err := diam2.NewOFT(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sat := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, win := range []int{1, 8, 64} {
+			cfg := diam2.TestSimConfig(1)
+			cfg.AllocWindow = win
+			alg := diam2.NewMinimal(tp)
+			res := runUniform(b, tp, alg, cfg, 1.0, 16000)
+			sat[win] = res.Throughput
+		}
+	}
+	b.ReportMetric(sat[1], "sat-window1")
+	b.ReportMetric(sat[8], "sat-window8")
+	b.ReportMetric(sat[64], "sat-window64")
+}
+
+// BenchmarkAblationCongestionSignal contrasts the VOQ-aware adaptive
+// congestion signal against the output-buffer-only signal under
+// worst-case traffic: the output buffer of a hot port stays
+// near-empty in an input-output-buffered switch, blinding the
+// threshold variant and pinning it at the minimal-routing bound.
+func BenchmarkAblationCongestionSignal(b *testing.B) {
+	p := diam2.SmallPresets()[1] // MLFM(6)
+	tp, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var voq, outOnly float64
+	for i := 0; i < b.N; i++ {
+		for _, blind := range []bool{false, true} {
+			ugal := p.BestAdaptive
+			ugal.Threshold = 0.10
+			ugal.OutputBufferSignalOnly = blind
+			res, err := diam2.RunSynthetic(tp, diam2.AlgATh, ugal, diam2.PatWC, 1.0, diam2.QuickScale())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if blind {
+				outOnly = res.Throughput
+			} else {
+				voq = res.Throughput
+			}
+		}
+	}
+	b.ReportMetric(voq, "WC-thr-VOQ-signal")
+	b.ReportMetric(outOnly, "WC-thr-outbuf-signal")
+}
+
+// BenchmarkAblationA2AOrdering contrasts the Kumar-style sprayed
+// all-to-all against the naive synchronized shifted exchange, whose
+// aligned phases form single-path permutations on the SSPTs.
+func BenchmarkAblationA2AOrdering(b *testing.B) {
+	p := diam2.SmallPresets()[2] // OFT(6)
+	tp, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := diam2.QuickScale()
+	var sprayed, sequential float64
+	for i := 0; i < b.N; i++ {
+		ex := diam2.AllToAll(tp.Nodes(), sc.A2APackets, rand.New(rand.NewSource(1)))
+		_, effS, err := diam2.RunExchange(tp, diam2.AlgMIN, p.BestAdaptive, ex, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq := diam2.AllToAllSequential(tp.Nodes(), sc.A2APackets)
+		_, effQ, err := diam2.RunExchange(tp, diam2.AlgMIN, p.BestAdaptive, seq, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sprayed, sequential = effS, effQ
+	}
+	b.ReportMetric(sprayed, "eff-sprayed")
+	b.ReportMetric(sequential, "eff-sequential")
+}
+
+// BenchmarkAblationSFRounding reproduces the Section 2.1.2 claim that
+// p = ceil(r'/2) slightly overprovisions endpoints: the ceil variant
+// saturates earlier under uniform traffic than the floor variant
+// (~87% vs ~96% in the paper's Fig. 6a).
+func BenchmarkAblationSFRounding(b *testing.B) {
+	var floorSat, ceilSat float64
+	for i := 0; i < b.N; i++ {
+		for _, rd := range []diam2.Rounding{diam2.RoundDown, diam2.RoundUp} {
+			tp, err := diam2.NewSlimFly(5, rd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alg := diam2.NewMinimal(tp)
+			res := runUniform(b, tp, alg, diam2.TestSimConfig(alg.NumVCs()), 1.0, 16000)
+			if rd == diam2.RoundDown {
+				floorSat = res.Throughput
+			} else {
+				ceilSat = res.Throughput
+			}
+		}
+	}
+	b.ReportMetric(floorSat, "sat-p-floor")
+	b.ReportMetric(ceilSat, "sat-p-ceil")
+}
+
+// BenchmarkAblationUGALGlobal contrasts practical UGAL-L against the
+// idealized global-knowledge UGAL-G the paper mentions: with whole-
+// path buffer visibility the adaptive decision can only improve.
+func BenchmarkAblationUGALGlobal(b *testing.B) {
+	p := diam2.SmallPresets()[1] // MLFM(6)
+	tp, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var local, global float64
+	for i := 0; i < b.N; i++ {
+		res, err := diam2.RunSynthetic(tp, diam2.AlgA, p.BestAdaptive, diam2.PatWC, 1.0, diam2.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		local = res.Throughput
+
+		g, err := diam2.NewUGALGlobal(tp, p.BestAdaptive)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := diam2.TestSimConfig(g.NumVCs())
+		net, err := diam2.NewNetwork(tp, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wc, err := diam2.WorstCase(tp, rand.New(rand.NewSource(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := &diam2.OpenLoop{Pattern: wc, Load: 1.0, PacketFlits: cfg.PacketFlits()}
+		e, err := diam2.NewEngine(net, g, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Warmup = 3000
+		e.Run(16000)
+		global = e.Results().Throughput
+	}
+	b.ReportMetric(local, "WC-thr-UGAL-L")
+	b.ReportMetric(global, "WC-thr-UGAL-G")
+}
+
+// BenchmarkAblationMapping quantifies the placement effect behind the
+// paper's contiguous-mapping choice: the MLFM aligned-torus
+// nearest-neighbor exchange under contiguous vs random placement.
+func BenchmarkAblationMapping(b *testing.B) {
+	tp, err := diam2.NewMLFM(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tor := diam2.Torus3D{X: 6, Y: 7, Z: 6}
+	run := func(m *diam2.Mapping) float64 {
+		ex, err := diam2.NearestNeighbor(tor, tp.Nodes(), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := diam2.SmallPresets()[1]
+		_, eff, err := diam2.RunExchange(tp, diam2.AlgMIN, p.BestAdaptive, m.Apply(ex), diam2.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eff
+	}
+	var contig, random float64
+	for i := 0; i < b.N; i++ {
+		contig = run(diam2.ContiguousMapping(tp.Nodes()))
+		random = run(diam2.RandomMapping(tp.Nodes(), rand.New(rand.NewSource(3))))
+	}
+	b.ReportMetric(contig, "NN-eff-contiguous")
+	b.ReportMetric(random, "NN-eff-random")
+}
+
+// BenchmarkAblationSpeedup contrasts the two head-of-line remedies:
+// windowed (VOQ-style) allocation vs crossbar speedup, each measured
+// against the plain window-1 FIFO switch.
+func BenchmarkAblationSpeedup(b *testing.B) {
+	tp, err := diam2.NewOFT(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(window, speedup int) float64 {
+		cfg := diam2.TestSimConfig(1)
+		cfg.AllocWindow = window
+		cfg.Speedup = speedup
+		res := runUniform(b, tp, diam2.NewMinimal(tp), cfg, 1.0, 16000)
+		return res.Throughput
+	}
+	var fifo, windowed, sped float64
+	for i := 0; i < b.N; i++ {
+		fifo = run(1, 1)
+		windowed = run(32, 1)
+		sped = run(1, 2)
+	}
+	b.ReportMetric(fifo, "sat-fifo")
+	b.ReportMetric(windowed, "sat-window32")
+	b.ReportMetric(sped, "sat-speedup2")
+}
+
+// BenchmarkAblationBufferSize sweeps the per-port buffering (the
+// paper's 100 KB per port per direction corresponds to 1600 flits):
+// below the bandwidth-delay product, saturation throughput drops.
+func BenchmarkAblationBufferSize(b *testing.B) {
+	tp, err := diam2.NewMLFM(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sat := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, buf := range []int{8, 32, 128} {
+			cfg := diam2.TestSimConfig(1)
+			cfg.InputBufFlits = buf
+			cfg.OutputBufFlits = buf
+			res := runUniform(b, tp, diam2.NewMinimal(tp), cfg, 1.0, 16000)
+			sat[buf] = res.Throughput
+		}
+	}
+	b.ReportMetric(sat[8], "sat-buf8")
+	b.ReportMetric(sat[32], "sat-buf32")
+	b.ReportMetric(sat[128], "sat-buf128")
+}
+
+// BenchmarkAblationFlitSize sweeps the flit size at fixed 256-byte
+// packets: smaller flits give finer-grained switching (more packets
+// per buffer) at more cycles per packet.
+func BenchmarkAblationFlitSize(b *testing.B) {
+	tp, err := diam2.NewOFT(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sat := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, flit := range []int{32, 64, 128} {
+			cfg := diam2.TestSimConfig(1)
+			cfg.FlitBytes = flit
+			res := runUniform(b, tp, diam2.NewMinimal(tp), cfg, 1.0, 16000)
+			sat[flit] = res.Throughput
+		}
+	}
+	b.ReportMetric(sat[32], "sat-flit32")
+	b.ReportMetric(sat[64], "sat-flit64")
+	b.ReportMetric(sat[128], "sat-flit128")
+}

@@ -1,0 +1,218 @@
+// Command diam2sim runs a single simulation: one topology, one
+// routing strategy, one traffic pattern, one offered load.
+//
+// Usage:
+//
+//	diam2sim -topo sf9 -alg min -pattern uni -load 0.5
+//	diam2sim -topo mlfm -alg ath -pattern wc -load 1.0 -scale paper
+//	diam2sim -topo oft -alg a -exchange a2a
+//	diam2sim -topo sf10 -alg inr -exchange nn -scale quick
+//
+// Topologies: sf9, sf10, mlfm, oft (paper configs), sf-small,
+// mlfm-small, oft-small, or file:PATH to load an edge-list topology
+// (see topo.ReadEdgeList). Algorithms: min, inr, a, ath. Patterns:
+// uni, wc. Exchanges: a2a, nn (override -pattern). -saturate runs a
+// binary search for the saturation load instead of a single point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"diam2/internal/harness"
+	"diam2/internal/sim"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "mlfm", "topology: sf9|sf10|mlfm|oft|sf-small|mlfm-small|oft-small")
+		algName  = flag.String("alg", "min", "routing: min|inr|a|ath")
+		pattern  = flag.String("pattern", "uni", "synthetic pattern: uni|wc")
+		exchange = flag.String("exchange", "", "closed-loop exchange instead: a2a|nn")
+		load     = flag.Float64("load", 0.5, "offered load (fraction of injection bandwidth)")
+		scale    = flag.String("scale", "quick", "scale: quick|paper")
+		ni       = flag.Int("ni", 0, "override UGAL nI")
+		c        = flag.Float64("c", 0, "override UGAL cost constant (c or cSF)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		saturate = flag.Bool("saturate", false, "binary-search the saturation load instead of one run")
+	)
+	flag.Parse()
+	if err := run(*topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate); err != nil {
+		fmt.Fprintln(os.Stderr, "diam2sim:", err)
+		os.Exit(1)
+	}
+}
+
+func findPreset(name string) (harness.Preset, error) {
+	if strings.HasPrefix(name, "file:") {
+		path := strings.TrimPrefix(name, "file:")
+		return harness.Preset{
+			Name: path,
+			Build: func() (topo.Topology, error) {
+				f, err := os.Open(path)
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				return topo.ReadEdgeList(f, path)
+			},
+			BestAdaptive: harness.UGALConfig{NI: 4, C: 2},
+		}, nil
+	}
+	all := map[string]harness.Preset{}
+	for _, p := range harness.PaperPresets() {
+		switch {
+		case strings.HasPrefix(p.Name, "SF(q=13,p=9"):
+			all["sf9"] = p
+		case strings.HasPrefix(p.Name, "SF(q=13,p=10"):
+			all["sf10"] = p
+		case strings.HasPrefix(p.Name, "MLFM"):
+			all["mlfm"] = p
+		case strings.HasPrefix(p.Name, "OFT"):
+			all["oft"] = p
+		}
+	}
+	for _, p := range harness.SmallPresets() {
+		switch {
+		case strings.HasPrefix(p.Name, "SF"):
+			all["sf-small"] = p
+		case strings.HasPrefix(p.Name, "MLFM"):
+			all["mlfm-small"] = p
+		case strings.HasPrefix(p.Name, "OFT"):
+			all["oft-small"] = p
+		}
+	}
+	p, ok := all[name]
+	if !ok {
+		return harness.Preset{}, fmt.Errorf("unknown topology %q", name)
+	}
+	return p, nil
+}
+
+func parseAlg(name string) (harness.AlgKind, error) {
+	switch name {
+	case "min":
+		return harness.AlgMIN, nil
+	case "inr":
+		return harness.AlgINR, nil
+	case "a":
+		return harness.AlgA, nil
+	case "ath":
+		return harness.AlgATh, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func run(topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool) error {
+	preset, err := findPreset(topoName)
+	if err != nil {
+		return err
+	}
+	alg, err := parseAlg(algName)
+	if err != nil {
+		return err
+	}
+	var sc harness.Scale
+	switch scaleName {
+	case "quick":
+		sc = harness.QuickScale()
+	case "paper":
+		sc = harness.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	sc.Seed = seed
+	ugal := preset.BestAdaptive
+	if ni > 0 {
+		ugal.NI = ni
+	}
+	if c > 0 {
+		if preset.SFStyle {
+			ugal.CSF = c
+		} else {
+			ugal.C = c
+		}
+	}
+	tp, err := preset.Build()
+	if err != nil {
+		return err
+	}
+	cost := topo.CostOf(tp)
+	fmt.Printf("topology  %s: N=%d R=%d radix=%d (%.2f ports, %.2f links per node)\n",
+		preset.Name, cost.Nodes, cost.Routers, tp.Radix(), cost.PortsPerNode, cost.LinksPerNode)
+
+	if exchange != "" {
+		var kind harness.ExchangeKind
+		switch exchange {
+		case "a2a":
+			kind = harness.ExA2A
+		case "nn":
+			kind = harness.ExNN
+		default:
+			return fmt.Errorf("unknown exchange %q", exchange)
+		}
+		var ex *traffic.Exchange
+		if kind == harness.ExA2A {
+			ex = traffic.AllToAll(tp.Nodes(), sc.A2APackets, rand.New(rand.NewSource(sc.Seed)))
+		} else {
+			tor, err := traffic.TorusFor(tp)
+			if err != nil {
+				return err
+			}
+			ex, err = traffic.NearestNeighbor(tor, tp.Nodes(), sc.NNPackets)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("torus     %dx%dx%d\n", tor.X, tor.Y, tor.Z)
+		}
+		res, eff, err := harness.RunExchange(tp, alg, ugal, ex, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exchange  %s with %s: %d packets\n", ex.Name(), algName, ex.TotalPackets())
+		fmt.Printf("completed in %d cycles (%.1f us at 100 Gbps)\n", res.Cycles,
+			sim.DefaultConfig(1).LatencySeconds(float64(res.Cycles))*1e6)
+		fmt.Printf("effective throughput %.1f%% of injection bandwidth\n", eff*100)
+		printResults(res)
+		return nil
+	}
+
+	var pat harness.PatternKind
+	switch pattern {
+	case "uni":
+		pat = harness.PatUNI
+	case "wc":
+		pat = harness.PatWC
+	default:
+		return fmt.Errorf("unknown pattern %q", pattern)
+	}
+	if saturate {
+		sat, err := harness.FindSaturation(tp, alg, ugal, pat, 0.02, 1.0, 0.05, 6, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saturation load (%s, %s): %.3f of injection bandwidth\n", pattern, algName, sat)
+		return nil
+	}
+	res, err := harness.RunSynthetic(tp, alg, ugal, pat, load, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synthetic %s with %s at load %.2f for %d cycles (warmup %d)\n",
+		pattern, algName, load, sc.Cycles, sc.Warmup)
+	fmt.Printf("delivered throughput %.1f%% of injection bandwidth\n", res.Throughput*100)
+	printResults(res)
+	return nil
+}
+
+func printResults(res sim.Results) {
+	fmt.Printf("packets   generated=%d injected=%d delivered=%d\n", res.Generated, res.Injected, res.Delivered)
+	fmt.Printf("latency   avg=%.0f p99=%.0f max=%.0f cycles (network-only avg %.0f)\n",
+		res.AvgLatency, res.P99Latency, res.MaxLatency, res.AvgNetLatency)
+	fmt.Printf("routing   avg hops %.2f, %.1f%% indirect\n", res.AvgHops, res.IndirectFrac*100)
+}

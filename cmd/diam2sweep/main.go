@@ -1,0 +1,193 @@
+// Command diam2sweep regenerates the paper's figures: it runs the
+// full parameter sweep behind a figure and prints the corresponding
+// data table.
+//
+// Usage:
+//
+//	diam2sweep -fig 6a            # oblivious routing, uniform traffic
+//	diam2sweep -fig 6b            # oblivious routing, worst-case
+//	diam2sweep -fig 7             # SF-A sweeps (nI, cSF)
+//	diam2sweep -fig 8             # SF-ATh sweeps
+//	diam2sweep -fig 9             # MLFM-A sweeps
+//	diam2sweep -fig 10            # OFT-A sweeps
+//	diam2sweep -fig 11            # MLFM-ATh sweeps
+//	diam2sweep -fig 12            # OFT-ATh sweeps
+//	diam2sweep -fig 13            # all-to-all exchange
+//	diam2sweep -fig 14            # nearest-neighbor exchange
+//	diam2sweep -fig all           # everything
+//
+// By default the sweep runs at "quick" scale (reduced instances and
+// run lengths, same code paths); pass -scale paper for the Section
+// 4.1 configurations — expect hours of CPU time for the full set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"diam2/internal/harness"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure to regenerate: 6a|6b|7|8|9|10|11|12|13|14|all")
+		scaleName = flag.String("scale", "quick", "scale: quick|medium|paper")
+		seed      = flag.Int64("seed", 1, "random seed")
+		plotDir   = flag.String("plotdir", "", "write SVG charts for figures with curves into this directory")
+		ascii     = flag.Bool("ascii", false, "also render ASCII charts to stdout")
+		csvDir    = flag.String("csvdir", "", "also write each figure's data as CSV into this directory")
+	)
+	flag.Parse()
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*fig, *scaleName, *seed, *plotDir, *ascii, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "diam2sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string) error {
+	for _, dir := range []string{plotDir, csvDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+	var sc harness.Scale
+	var presets []harness.Preset
+	switch scaleName {
+	case "quick":
+		sc = harness.QuickScale()
+		presets = harness.SmallPresets()
+	case "medium":
+		sc = harness.MediumScale()
+		presets = harness.SmallPresets()
+	case "paper":
+		sc = harness.PaperScale()
+		presets = harness.PaperPresets()
+	default:
+		return fmt.Errorf("unknown scale %q (quick|medium|paper)", scaleName)
+	}
+	sc.Seed = seed
+
+	// Preset lookup by family for the per-topology adaptive figures.
+	byFamily := map[string]harness.Preset{}
+	for _, p := range presets {
+		switch {
+		case p.SFStyle:
+			if _, ok := byFamily["SF"]; !ok { // first SF preset (p = floor)
+				byFamily["SF"] = p
+			}
+		case p.Name[:4] == "MLFM":
+			byFamily["MLFM"] = p
+		default:
+			byFamily["OFT"] = p
+		}
+	}
+	loads := harness.DefaultLoads()
+	// The paper's sweep values; the medium reproduction trims the
+	// grid to keep the full figure set to about an hour of CPU.
+	sweepNI := []int{1, 2, 4, 8}
+	sweepC := []float64{0.5, 1, 2, 4}
+	if scaleName == "medium" {
+		loads = []float64{0.1, 0.5, 0.9, 1.0}
+		sweepNI = []int{1, 4}
+		sweepC = []float64{1, 2}
+	}
+
+	figName := ""
+	render := func(t *harness.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			f, err := os.Create(filepath.Join(csvDir, "fig"+figName+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := t.RenderCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		for i, ch := range t.Charts {
+			if ascii {
+				if err := ch.RenderASCII(os.Stdout, 72, 18); err != nil {
+					return err
+				}
+			}
+			if plotDir == "" {
+				continue
+			}
+			name := filepath.Join(plotDir, fmt.Sprintf("fig%s_%d.svg", figName, i))
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			if err := ch.RenderSVG(f, 640, 420); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", name)
+		}
+		return nil
+	}
+	adaptive := func(family string, kind harness.AlgKind, fixedNI int, fixedC float64) error {
+		p, ok := byFamily[family]
+		if !ok {
+			return fmt.Errorf("no %s preset at this scale", family)
+		}
+		return render(harness.AdaptiveSweep(p, kind, sweepNI, sweepC, fixedNI, fixedC, loads, sc))
+	}
+
+	figs := []string{fig}
+	if fig == "all" {
+		figs = []string{"6a", "6b", "7", "8", "9", "10", "11", "12", "13", "14"}
+	}
+	for _, f := range figs {
+		var err error
+		figName = f
+		switch f {
+		case "6a":
+			err = render(harness.Fig6Oblivious(presets, harness.PatUNI, loads, sc))
+		case "6b":
+			err = render(harness.Fig6Oblivious(presets, harness.PatWC, loads, sc))
+		case "7":
+			err = adaptive("SF", harness.AlgA, 4, 1)
+		case "8":
+			err = adaptive("SF", harness.AlgATh, 4, 1)
+		case "9":
+			err = adaptive("MLFM", harness.AlgA, 5, 2)
+		case "10":
+			err = adaptive("OFT", harness.AlgA, 1, 2)
+		case "11":
+			err = adaptive("MLFM", harness.AlgATh, 5, 2)
+		case "12":
+			err = adaptive("OFT", harness.AlgATh, 1, 2)
+		case "13":
+			err = render(harness.FigExchange(presets, harness.ExA2A, sc))
+		case "14":
+			err = render(harness.FigExchange(presets, harness.ExNN, sc))
+		default:
+			err = fmt.Errorf("unknown figure %q", f)
+		}
+		if err != nil {
+			return fmt.Errorf("fig %s: %w", f, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+// Command diam2topo analyzes the diameter-two topologies without
+// simulation: construction summaries, the Fig. 3 scalability/cost
+// comparison, the Fig. 4 bisection estimates, the Table 2 ML3B
+// representation, and the Section 2.3.3 path-diversity statistics.
+//
+// Usage:
+//
+//	diam2topo -summary            # construction summary of the paper configs
+//	diam2topo -scaling            # Fig. 3 (radix sweep 16..64)
+//	diam2topo -bisection          # Fig. 4 estimates (paper configs)
+//	diam2topo -ml3b 4             # Table 2 for a given k
+//	diam2topo -diversity          # Sec. 2.3.3 diversity stats
+//	diam2topo -lambda2            # spectral bisection lower-bound data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"diam2/internal/fluid"
+	"diam2/internal/harness"
+	"diam2/internal/partition"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+	"diam2/internal/viz"
+)
+
+func main() {
+	var (
+		summary   = flag.Bool("summary", false, "construction summary of the paper configurations")
+		scaling   = flag.Bool("scaling", false, "Fig. 3 scalability/cost table")
+		bisection = flag.Bool("bisection", false, "Fig. 4 bisection-bandwidth estimates")
+		ml3b      = flag.Int("ml3b", 0, "Table 2: print the k-ML3B for this k")
+		diversity = flag.Bool("diversity", false, "Sec. 2.3.3 path-diversity statistics")
+		lambda2   = flag.Bool("lambda2", false, "spectral lambda estimates (bisection lower bounds)")
+		restarts  = flag.Int("restarts", 12, "bisection restarts")
+		passes    = flag.Int("passes", 40, "bisection refinement passes")
+		seed      = flag.Int64("seed", 42, "random seed")
+		exportDOT = flag.String("dot", "", "write the named paper topology (sf9|sf10|mlfm|oft) as Graphviz DOT to stdout")
+		exportEL  = flag.String("edgelist", "", "write the named paper topology as an edge list to stdout")
+		fluidSat  = flag.Bool("fluid", false, "analytic (fluid-model) saturation loads for the paper configurations")
+		draw      = flag.String("draw", "", "write a Fig. 1-style SVG diagram of the named topology (sf9|sf10|mlfm|oft) to stdout")
+	)
+	flag.Parse()
+	if !*summary && !*scaling && !*bisection && *ml3b == 0 && !*diversity && !*lambda2 && !*fluidSat && *exportDOT == "" && *exportEL == "" && *draw == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *draw != "" {
+		tp, err := paperTopo(*draw)
+		if err == nil {
+			err = viz.DrawSVG(os.Stdout, tp, 800, 600)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diam2topo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exportDOT != "" || *exportEL != "" {
+		if err := export(*exportDOT, *exportEL); err != nil {
+			fmt.Fprintln(os.Stderr, "diam2topo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fluidSat {
+		if err := fluidTable(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "diam2topo:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(*summary, *scaling, *bisection, *ml3b, *diversity, *lambda2, *restarts, *passes, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "diam2topo:", err)
+		os.Exit(1)
+	}
+}
+
+// fluidTable prints analytic saturation loads (Section 4.2/4.3
+// predictions without simulation).
+func fluidTable(seed int64) error {
+	t := &harness.Table{
+		Title:  "Fluid-model saturation loads (analytic; fraction of injection bandwidth)",
+		Header: []string{"topology", "UNI MIN", "WC MIN", "WC INR"},
+	}
+	for _, p := range harness.PaperPresets() {
+		tp, err := p.Build()
+		if err != nil {
+			return err
+		}
+		model := fluid.New(tp)
+		uni := model.MinimalUniform().Saturation()
+		wc, err := traffic.WorstCase(tp, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		minLoads, err := model.MinimalPermutation(wc)
+		if err != nil {
+			return err
+		}
+		inrLoads, err := model.ValiantPermutation(wc)
+		if err != nil {
+			return err
+		}
+		t.AddRow(p.Name, fmt.Sprintf("%.3f", uni), fmt.Sprintf("%.3f", minLoads.Saturation()),
+			fmt.Sprintf("%.3f", inrLoads.Saturation()))
+	}
+	return t.Render(os.Stdout)
+}
+
+// paperTopo resolves a short name to a built paper topology.
+func paperTopo(name string) (topo.Topology, error) {
+	for _, p := range harness.PaperPresets() {
+		short := map[string]string{
+			"SF(q=13,p=9)": "sf9", "SF(q=13,p=10)": "sf10",
+			"MLFM(h=15)": "mlfm", "OFT(k=12)": "oft",
+		}[p.Name]
+		if short == name {
+			return p.Build()
+		}
+	}
+	return nil, fmt.Errorf("unknown topology %q (want sf9|sf10|mlfm|oft)", name)
+}
+
+// export writes a paper topology in DOT or edge-list form.
+func export(dotName, elName string) error {
+	name := dotName
+	if name == "" {
+		name = elName
+	}
+	tp, err := paperTopo(name)
+	if err != nil {
+		return err
+	}
+	if dotName != "" {
+		return topo.WriteDOT(os.Stdout, tp)
+	}
+	return topo.WriteEdgeList(os.Stdout, tp)
+}
+
+func run(summary, scaling, bisection bool, ml3b int, diversity, lambda2 bool, restarts, passes int, seed int64) error {
+	if summary {
+		t := &harness.Table{
+			Title:  "Paper configurations (Section 4.1)",
+			Header: []string{"topology", "N", "R", "radix", "ports/N", "links/N", "diam"},
+		}
+		for _, p := range harness.PaperPresets() {
+			tp, err := p.Build()
+			if err != nil {
+				return err
+			}
+			c := topo.CostOf(tp)
+			if err := topo.VerifyDiameter(tp, 2); err != nil {
+				return err
+			}
+			t.AddRow(p.Name, fmt.Sprint(c.Nodes), fmt.Sprint(c.Routers), fmt.Sprint(tp.Radix()),
+				fmt.Sprintf("%.2f", c.PortsPerNode), fmt.Sprintf("%.2f", c.LinksPerNode), "2")
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if scaling {
+		t := harness.Fig3Scalability([]int{16, 24, 32, 40, 48, 56, 64})
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if bisection {
+		t, err := harness.Fig4Bisection(harness.PaperPresets(), restarts, passes, seed)
+		if err != nil {
+			return err
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if ml3b > 0 {
+		t, err := harness.Table2ML3B(ml3b)
+		if err != nil {
+			return err
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if diversity {
+		for _, p := range harness.PaperPresets() {
+			tp, err := p.Build()
+			if err != nil {
+				return err
+			}
+			if err := harness.DiversityReport(tp).Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	if lambda2 {
+		t := &harness.Table{
+			Title:  "Spectral lambda (largest adjacency eigenvalue orthogonal to 1) and implied bisection lower bound",
+			Header: []string{"topology", "R", "degree", "lambda", "cut lower bound", "per-node lower bound"},
+		}
+		for _, p := range harness.PaperPresets() {
+			tp, err := p.Build()
+			if err != nil {
+				return err
+			}
+			g := tp.Graph()
+			l := partition.SpectralLambda2(g, 300, seed)
+			deg := float64(g.NumEdges()*2) / float64(g.N())
+			lower := (deg - l) * float64(g.N()) / 4
+			t.AddRow(p.Name, fmt.Sprint(g.N()), fmt.Sprintf("%.1f", deg), fmt.Sprintf("%.2f", l),
+				fmt.Sprintf("%.0f", lower), fmt.Sprintf("%.3f", lower/(float64(tp.Nodes())/2)))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

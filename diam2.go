@@ -1,0 +1,297 @@
+package diam2
+
+import (
+	"diam2/internal/core"
+	"diam2/internal/fluid"
+	"diam2/internal/harness"
+	"diam2/internal/partition"
+	"diam2/internal/routing"
+	"diam2/internal/sim"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+	"diam2/internal/viz"
+)
+
+// Topology re-exports the topology abstraction.
+type Topology = topo.Topology
+
+// Topology implementations.
+type (
+	// SlimFly is the direct diameter-two MMS-graph topology.
+	SlimFly = topo.SlimFly
+	// MLFM is the Multi-Layer Full-Mesh.
+	MLFM = topo.MLFM
+	// OFT is the two-level Orthogonal Fat-Tree.
+	OFT = topo.OFT
+	// HyperX2D is the two-dimensional HyperX baseline.
+	HyperX2D = topo.HyperX2D
+	// FatTree2 is the full-bisection two-level Fat-Tree baseline.
+	FatTree2 = topo.FatTree2
+	// FatTree3 is the three-level Fat-Tree reference.
+	FatTree3 = topo.FatTree3
+	// Dragonfly is the diameter-three baseline of Kim et al.
+	Dragonfly = topo.Dragonfly
+	// Jellyfish is the random regular-graph baseline of Singla et al.
+	Jellyfish = topo.Jellyfish
+	// DegradedTopology is a topology with failed links removed.
+	DegradedTopology = topo.Degraded
+)
+
+// Rounding selects the Slim Fly endpoint count (floor or ceil of
+// r'/2).
+type Rounding = topo.Rounding
+
+// Rounding choices.
+const (
+	RoundDown = topo.RoundDown
+	RoundUp   = topo.RoundUp
+)
+
+// Topology constructors.
+var (
+	NewSlimFly           = topo.NewSlimFly
+	NewMLFM              = topo.NewMLFM
+	NewOFT               = topo.NewOFT
+	NewHyperX2D          = topo.NewHyperX2D
+	NewFatTree2          = topo.NewFatTree2
+	NewFatTree3          = topo.NewFatTree3
+	NewDragonfly         = topo.NewDragonfly
+	NewJellyfish         = topo.NewJellyfish
+	NewBalancedDragonfly = topo.NewBalancedDragonfly
+	Degrade              = topo.Degrade
+	NewCustom            = topo.NewCustom
+	ReadEdgeList         = topo.ReadEdgeList
+	WriteEdgeList        = topo.WriteEdgeList
+	WriteDOT             = topo.WriteDOT
+)
+
+// Cost metrics (Fig. 3).
+type (
+	// Cost summarizes network cost per endpoint.
+	Cost = topo.Cost
+	// ScalingEntry is one row of the Fig. 3 comparison.
+	ScalingEntry = topo.ScalingEntry
+)
+
+// Analysis helpers.
+var (
+	CostOf         = topo.CostOf
+	ScalingTable   = topo.ScalingTable
+	MooreBound     = topo.MooreBound
+	MooreFraction  = topo.MooreFraction
+	VerifyDiameter = topo.VerifyDiameter
+)
+
+// SSPT class (the paper's Section 2.2.2 contribution).
+type (
+	// SPTPattern is a Single-Path Tree interconnection pattern.
+	SPTPattern = core.Pattern
+	// SSPT is a stacked SPT descriptor.
+	SSPT = core.Stacked
+)
+
+// SSPT constructors.
+var (
+	FullMeshPattern = core.FullMeshPattern
+	ML3BPattern     = core.ML3BPattern
+	StackSPT        = core.Stack
+)
+
+// Routing algorithms (Section 3).
+type (
+	// MinimalRouting is oblivious minimal routing.
+	MinimalRouting = routing.Minimal
+	// ValiantRouting is oblivious indirect random routing.
+	ValiantRouting = routing.Valiant
+	// UGALRouting is the UGAL-L adaptive family.
+	UGALRouting = routing.UGAL
+	// UGALGlobalRouting is the idealized global-knowledge UGAL
+	// variant (ablation upper bound).
+	UGALGlobalRouting = routing.UGALGlobal
+	// PARRouting is progressive adaptive routing (extension).
+	PARRouting = routing.PAR
+	// UGALConfig parameterizes the adaptive algorithms.
+	UGALConfig = routing.UGALConfig
+)
+
+// VCPolicy selects the deadlock-avoidance VC assignment.
+type VCPolicy = routing.VCPolicy
+
+// VC policies (Section 3.4).
+const (
+	VCByHop   = routing.VCByHop
+	VCByPhase = routing.VCByPhase
+)
+
+// Routing constructors and checks.
+var (
+	NewMinimal    = routing.NewMinimal
+	NewValiant    = routing.NewValiant
+	NewUGAL       = routing.NewUGAL
+	NewUGALGlobal = routing.NewUGALGlobal
+	NewPAR        = routing.NewPAR
+	CDGAcyclic    = routing.CDGAcyclic
+)
+
+// Simulator types.
+type (
+	// SimConfig is the switch/link parameterization.
+	SimConfig = sim.Config
+	// Network is the instantiated simulator state.
+	Network = sim.Network
+	// Engine is the cycle-driven simulator.
+	Engine = sim.Engine
+	// Results summarizes a run.
+	Results = sim.Results
+	// RoutingAlgorithm is the simulator's routing hook.
+	RoutingAlgorithm = sim.RoutingAlgorithm
+	// Workload drives injection.
+	Workload = sim.Workload
+)
+
+// Simulator constructors.
+var (
+	DefaultSimConfig = sim.DefaultConfig
+	TestSimConfig    = sim.TestConfig
+	NewNetwork       = sim.NewNetwork
+	NewEngine        = sim.NewEngine
+)
+
+// Traffic types (Section 4).
+type (
+	// Pattern maps sources to destinations.
+	Pattern = traffic.Pattern
+	// Uniform is global uniform random traffic.
+	Uniform = traffic.Uniform
+	// Permutation is a fixed source-to-destination mapping.
+	Permutation = traffic.Permutation
+	// OpenLoop is Bernoulli open-loop injection of a pattern.
+	OpenLoop = traffic.OpenLoop
+	// Exchange is a closed-loop message exchange.
+	Exchange = traffic.Exchange
+	// Torus3D is the nearest-neighbor process arrangement.
+	Torus3D = traffic.Torus3D
+	// Trace replays a timed application communication trace.
+	Trace = traffic.Trace
+	// TraceRecord is one message of a trace.
+	TraceRecord = traffic.TraceRecord
+	// Collective is a dependency-driven collective-operation workload.
+	Collective = traffic.Collective
+	// StepMessage is one transfer within a collective step.
+	StepMessage = traffic.StepMessage
+	// Mapping is a process-rank to node assignment.
+	Mapping = traffic.Mapping
+)
+
+// Traffic constructors.
+var (
+	WorstCase                  = traffic.WorstCase
+	RouterShift                = traffic.RouterShift
+	AllToAll                   = traffic.AllToAll
+	AllToAllSequential         = traffic.AllToAllSequential
+	NewTrace                   = traffic.NewTrace
+	ParseTrace                 = traffic.ParseTrace
+	WriteTrace                 = traffic.WriteTrace
+	SyntheticPhaseTrace        = traffic.SyntheticPhaseTrace
+	NewCollective              = traffic.NewCollective
+	RingAllGather              = traffic.RingAllGather
+	RecursiveDoublingAllGather = traffic.RecursiveDoublingAllGather
+	BinomialBroadcast          = traffic.BinomialBroadcast
+	RingAllReduce              = traffic.RingAllReduce
+	NewMapping                 = traffic.NewMapping
+	ContiguousMapping          = traffic.ContiguousMapping
+	RandomMapping              = traffic.RandomMapping
+	RoundRobinMapping          = traffic.RoundRobinMapping
+	NodeShift                  = traffic.NodeShift
+	Tornado                    = traffic.Tornado
+	BitComplement              = traffic.BitComplement
+	BitReverse                 = traffic.BitReverse
+	Transpose                  = traffic.Transpose
+	NearestNeighbor            = traffic.NearestNeighbor
+	FitTorus3D                 = traffic.FitTorus3D
+)
+
+// Harness types: presets, scales and experiment generators.
+type (
+	// Preset is one evaluated topology configuration.
+	Preset = harness.Preset
+	// Scale trades fidelity for speed.
+	Scale = harness.Scale
+	// AlgKind selects MIN/INR/A/ATh.
+	AlgKind = harness.AlgKind
+	// PatternKind selects UNI/WC.
+	PatternKind = harness.PatternKind
+	// ExchangeKind selects A2A/NN.
+	ExchangeKind = harness.ExchangeKind
+	// LoadPoint is one sample of a load sweep.
+	LoadPoint = harness.LoadPoint
+	// ResultTable is a renderable experiment output.
+	ResultTable = harness.Table
+)
+
+// Harness enums.
+const (
+	AlgMIN = harness.AlgMIN
+	AlgINR = harness.AlgINR
+	AlgA   = harness.AlgA
+	AlgATh = harness.AlgATh
+
+	PatUNI = harness.PatUNI
+	PatWC  = harness.PatWC
+
+	ExA2A = harness.ExA2A
+	ExNN  = harness.ExNN
+)
+
+// Harness entry points: one per paper exhibit, plus generic runners.
+var (
+	PaperPresets      = harness.PaperPresets
+	SmallPresets      = harness.SmallPresets
+	PaperScale        = harness.PaperScale
+	QuickScale        = harness.QuickScale
+	MediumScale       = harness.MediumScale
+	RunSynthetic      = harness.RunSynthetic
+	RunExchange       = harness.RunExchange
+	SaturationPoint   = harness.SaturationPoint
+	Table2ML3B        = harness.Table2ML3B
+	Fig3Scalability   = harness.Fig3Scalability
+	Fig4Bisection     = harness.Fig4Bisection
+	Fig6Oblivious     = harness.Fig6Oblivious
+	AdaptiveSweep     = harness.AdaptiveSweep
+	FigExchange       = harness.FigExchange
+	DiversityReport   = harness.DiversityReport
+	BisectionEstimate = harness.BisectionEstimate
+	DefaultLoads      = harness.DefaultLoads
+	Replicate         = harness.Replicate
+	FindSaturation    = harness.FindSaturation
+)
+
+// ReplicationStats summarizes independent replications of one
+// experiment point.
+type ReplicationStats = harness.Replication
+
+// Bisection analysis (Fig. 4 substrate).
+var (
+	Bisect           = partition.Bisect
+	BisectionPerNode = partition.BisectionPerNode
+	SpectralLambda2  = partition.SpectralLambda2
+)
+
+// PartitionConfig configures the bisection heuristic.
+type PartitionConfig = partition.Config
+
+// Fluid-model types: analytic link-load and saturation estimates that
+// cross-validate the simulator.
+type (
+	// FluidModel computes per-link loads analytically.
+	FluidModel = fluid.Model
+	// FluidLinkLoads maps directed router links to relative load.
+	FluidLinkLoads = fluid.LinkLoads
+)
+
+// NewFluidModel builds the analytic throughput model for a topology.
+var NewFluidModel = fluid.New
+
+// DrawTopologySVG renders a topology diagram in the style of the
+// paper's Fig. 1 system views.
+var DrawTopologySVG = viz.DrawSVG

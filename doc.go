@@ -1,0 +1,29 @@
+// Package diam2 is a library for building, routing, analyzing and
+// simulating cost-effective diameter-two interconnection topologies,
+// reproducing Kathareios et al., "Cost-Effective Diameter-Two
+// Topologies: Analysis and Evaluation" (SC '15).
+//
+// The package exposes:
+//
+//   - Topology constructors: Slim Fly (MMS graphs), Multi-Layer
+//     Full-Mesh, two-level Orthogonal Fat-Tree, and the baselines
+//     (2-D HyperX, two- and three-level Fat-Trees), plus the Stacked
+//     Single-Path Tree class they instantiate.
+//   - Routing: oblivious minimal, indirect random (Valiant), and the
+//     UGAL-L adaptive family with per-topology deadlock-free VC
+//     assignments.
+//   - A flit-level, cycle-driven network simulator with input-output
+//     buffered VC switches and credit flow control.
+//   - Traffic: uniform, per-topology adversarial worst cases,
+//     all-to-all and 3-D nearest-neighbor exchanges.
+//   - Analysis: scalability/cost tables, bisection-bandwidth
+//     estimation, path-diversity statistics, and experiment harnesses
+//     that regenerate every table and figure of the paper.
+//
+// Quick start:
+//
+//	sf, _ := diam2.NewSlimFly(13, diam2.RoundDown)
+//	res, _ := diam2.RunSynthetic(sf, diam2.AlgMIN, diam2.UGALConfig{},
+//	    diam2.PatUNI, 0.5, diam2.QuickScale())
+//	fmt.Println(res.Throughput, res.AvgLatency)
+package diam2

@@ -1,0 +1,103 @@
+package diam2_test
+
+import (
+	"fmt"
+	"log"
+
+	"diam2"
+)
+
+// Building a topology and inspecting its cost metrics.
+func ExampleNewSlimFly() {
+	sf, err := diam2.NewSlimFly(13, diam2.RoundDown)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := diam2.CostOf(sf)
+	fmt.Printf("%s: N=%d R=%d ports/node=%.2f\n", sf.Name(), c.Nodes, c.Routers, c.PortsPerNode)
+	// Output: SF(q=13,p=9): N=3042 R=338 ports/node=3.11
+}
+
+// The MLFM and OFT match the paper's Section 4.1 configurations.
+func ExampleNewMLFM() {
+	m, err := diam2.NewMLFM(15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: N=%d R=%d radix=%d\n", m.Name(), m.Nodes(), m.Graph().N(), m.Radix())
+	// Output: MLFM(h=15): N=3600 R=360 radix=30
+}
+
+// The ML3B pattern behind the OFT reproduces the paper's Table 2.
+func ExampleML3BPattern() {
+	p, err := diam2.ML3BPattern(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.Up[0])
+	fmt.Println(p.Up[12])
+	// Output:
+	// [9 10 11 12]
+	// [12 2 4 6]
+}
+
+// Scalability analysis at a fixed router radix (Fig. 3).
+func ExampleScalingTable() {
+	for _, e := range diam2.ScalingTable(64) {
+		if e.Family == "OFT" || e.Family == "MLFM" {
+			fmt.Printf("%s: %d nodes\n", e.Family, e.Nodes)
+		}
+	}
+	// Output:
+	// MLFM: 33792 nodes
+	// OFT: 63552 nodes
+}
+
+// Running a quick simulation through the harness.
+func ExampleRunSynthetic() {
+	m, err := diam2.NewMLFM(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := diam2.RunSynthetic(m, diam2.AlgMIN, diam2.UGALConfig{},
+		diam2.PatUNI, 0.5, diam2.QuickScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered within 10%% of offer: %v\n",
+		res.Throughput > 0.45 && res.Throughput < 0.55)
+	// Output: delivered within 10% of offer: true
+}
+
+// Deadlock-freedom checks via the channel dependency graph.
+func ExampleCDGAcyclic() {
+	o, err := diam2.NewOFT(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(diam2.CDGAcyclic(o, diam2.VCByPhase, true)) // 2 VCs cover indirect routes
+	// Output: <nil>
+}
+
+// The Moore bound and how close the Slim Fly gets to it.
+func ExampleMooreBound() {
+	fmt.Println(diam2.MooreBound(7, 2)) // Hoffman-Singleton parameters
+	sf, err := diam2.NewSlimFly(5, diam2.RoundDown)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.2f\n", diam2.MooreFraction(sf))
+	// Output:
+	// 50
+	// 1.00
+}
+
+// Fitting the paper's nearest-neighbor torus to a machine size.
+func ExampleFitTorus3D() {
+	tor, err := diam2.FitTorus3D(3192) // the OFT(k=12) size
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%dx%dx%d\n", tor.X, tor.Y, tor.Z)
+	// Output: 12x14x19
+}

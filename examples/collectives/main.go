@@ -1,0 +1,59 @@
+// Collective operations on diameter-two networks: compare ring and
+// recursive-doubling all-gather (and a binomial broadcast) across the
+// three topologies, with dependency-accurate step gating — each node
+// only forwards data it has actually received.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diam2"
+)
+
+func main() {
+	const ranks = 64
+	const chunk = 4 // packets per chunk
+
+	fmt.Printf("Collectives over %d ranks (%d-packet chunks), minimal routing:\n\n", ranks, chunk)
+	fmt.Printf("%-14s %-24s %10s %10s\n", "topology", "collective", "packets", "cycles")
+	for _, preset := range diam2.SmallPresets() {
+		tp, err := preset.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		builders := []struct {
+			name  string
+			build func() (*diam2.Collective, error)
+		}{
+			{"ring all-gather", func() (*diam2.Collective, error) { return diam2.RingAllGather(ranks, chunk) }},
+			{"rec-doubling all-gather", func() (*diam2.Collective, error) { return diam2.RecursiveDoublingAllGather(ranks, chunk) }},
+			{"ring all-reduce", func() (*diam2.Collective, error) { return diam2.RingAllReduce(ranks, chunk) }},
+			{"binomial bcast", func() (*diam2.Collective, error) { return diam2.BinomialBroadcast(ranks, 0, chunk) }},
+		}
+		for _, b := range builders {
+			coll, err := b.build()
+			if err != nil {
+				log.Fatal(err)
+			}
+			alg := diam2.NewMinimal(tp)
+			net, err := diam2.NewNetwork(tp, diam2.TestSimConfig(alg.NumVCs()))
+			if err != nil {
+				log.Fatal(err)
+			}
+			eng, err := diam2.NewEngine(net, alg, coll)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !eng.RunUntilDrained(10_000_000) {
+				log.Fatalf("%s did not complete on %s", coll.Name(), tp.Name())
+			}
+			res := eng.Results()
+			fmt.Printf("%-14s %-24s %10d %10d\n", preset.Name, b.name, res.Delivered, res.Cycles)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Ring completion scales with the n-1 step dependency chain;")
+	fmt.Println("recursive doubling needs log2(n) steps but moves bigger chunks")
+	fmt.Println("later — which wins depends on chunk size and process placement.")
+}

@@ -1,0 +1,36 @@
+// Quickstart: build a Slim Fly, run uniform random traffic under
+// minimal routing, and print throughput and latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diam2"
+)
+
+func main() {
+	// A Slim Fly with q = 13 and p = floor(r'/2) = 9 endpoints per
+	// router: 3042 nodes on 338 routers of radix 28 — one of the
+	// paper's evaluation configurations.
+	sf, err := diam2.NewSlimFly(13, diam2.RoundDown)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := diam2.CostOf(sf)
+	fmt.Printf("%s: %d nodes, %d routers, %.2f ports and %.2f links per node\n",
+		sf.Name(), cost.Nodes, cost.Routers, cost.PortsPerNode, cost.LinksPerNode)
+
+	// Simulate uniform random traffic at 50% offered load with
+	// oblivious minimal routing. QuickScale uses reduced buffers and
+	// run lengths; swap in diam2.PaperScale() for the Section 4.1
+	// parameters (100 Gbps, 100 KB buffers, 200 us).
+	res, err := diam2.RunSynthetic(sf, diam2.AlgMIN, diam2.UGALConfig{},
+		diam2.PatUNI, 0.5, diam2.QuickScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniform @ 0.50 load: delivered %.1f%% of injection bandwidth\n", res.Throughput*100)
+	fmt.Printf("latency: avg %.0f cycles, p99 %.0f cycles, avg %.2f hops\n",
+		res.AvgLatency, res.P99Latency, res.AvgHops)
+}

@@ -1,0 +1,48 @@
+// Scaling and cost analysis (Figs. 3 and 4): print the largest
+// network each topology family can build per router radix, and
+// estimate bisection bandwidth per end-node with the built-in
+// partitioner.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"diam2"
+)
+
+func main() {
+	// Fig. 3: scalability and per-endpoint cost by router radix.
+	tab := diam2.Fig3Scalability([]int{24, 36, 48, 64})
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 4: heuristic bisection-bandwidth estimates for mid-size
+	// instances of each diameter-two topology.
+	fmt.Println("Bisection bandwidth per end-node (fraction of link bandwidth):")
+	builds := []struct {
+		name  string
+		build func() (diam2.Topology, error)
+	}{
+		{"SF(q=7,p=5)", func() (diam2.Topology, error) { return diam2.NewSlimFly(7, diam2.RoundDown) }},
+		{"MLFM(h=8)", func() (diam2.Topology, error) { return diam2.NewMLFM(8) }},
+		{"OFT(k=8)", func() (diam2.Topology, error) { return diam2.NewOFT(8) }},
+	}
+	for _, b := range builds {
+		tp, err := b.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := diam2.BisectionEstimate(tp, 12, 40, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The spectral bound shows how close the heuristic cut is to
+		// the best possible one for (near-)regular graphs.
+		lambda := diam2.SpectralLambda2(tp.Graph(), 200, 42)
+		fmt.Printf("  %-12s estimate %.3f   (graph lambda %.2f)\n", b.name, est, lambda)
+	}
+	fmt.Println("\nExpected ordering (Fig. 4): OFT > SF(floor) > SF(ceil) > MLFM ~ 0.5.")
+}

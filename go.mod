@@ -1,0 +1,3 @@
+module diam2
+
+go 1.24

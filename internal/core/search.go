@@ -1,0 +1,117 @@
+package core
+
+import "fmt"
+
+// SearchPattern looks for an SPT(r1, r2) interconnection pattern by
+// backtracking. The paper notes that beyond the two known families
+// (r2 = 2 full-mesh and r2 = r1 with r1-1 prime via the ML3B) a
+// pattern "might not be readily available"; this solver finds
+// patterns for other small parameter pairs when they exist —
+// combinatorially these are resolvable-design-like structures
+// (SPT(k, k) is a projective plane of order k-1). maxNodes bounds the
+// search-tree size; the search gives up (returning an error) once it
+// is exceeded, so infeasible or hard instances terminate.
+func SearchPattern(r1, r2 int, maxNodes int64) (*Pattern, error) {
+	if r1 < 1 || r2 < 2 {
+		return nil, fmt.Errorf("core: SearchPattern requires r1 >= 1, r2 >= 2; got (%d,%d)", r1, r2)
+	}
+	R1 := 1 + r1*(r2-1)
+	if R1*r1%r2 != 0 {
+		return nil, fmt.Errorf("core: SPT(%d,%d) infeasible: R1*r1 = %d not divisible by r2", r1, r2, R1*r1)
+	}
+	R2 := R1 * r1 / r2
+	s := &sptSearch{
+		r1: r1, r2: r2, R1: R1, R2: R2,
+		rows:   make([][]int, R1),
+		degree: make([]int, R2),
+		pair:   make([][]bool, R1),
+		budget: maxNodes,
+	}
+	for i := range s.pair {
+		s.pair[i] = make([]bool, R1)
+	}
+	// Members of each upper router, for the pair constraint.
+	s.members = make([][]int, R2)
+	if !s.fill(0) {
+		if s.budget <= 0 {
+			return nil, fmt.Errorf("core: SPT(%d,%d) search exceeded its budget", r1, r2)
+		}
+		return nil, fmt.Errorf("core: no SPT(%d,%d) pattern found", r1, r2)
+	}
+	p := &Pattern{R1: R1, R2: R2, Rad1: r1, Rad2: r2, Up: s.rows}
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("core: search produced an invalid pattern: %v", err)
+	}
+	return p, nil
+}
+
+type sptSearch struct {
+	r1, r2, R1, R2 int
+	rows           [][]int  // assigned upper routers per lower row
+	degree         []int    // rows assigned per upper router
+	members        [][]int  // lower rows per upper router
+	pair           [][]bool // lower-row pairs already sharing an upper router
+	budget         int64
+}
+
+// fill assigns upper routers to lower row i (rows are filled in
+// order; within a row, upper IDs ascend to break symmetry).
+func (s *sptSearch) fill(i int) bool {
+	if i == s.R1 {
+		return true
+	}
+	return s.extendRow(i, 0, 0)
+}
+
+// extendRow adds the j-th entry of row i, trying upper routers >= lo.
+func (s *sptSearch) extendRow(i, j, lo int) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	if j == s.r1 {
+		return s.fill(i + 1)
+	}
+	// Remaining capacity feasibility: enough free upper slots left.
+	for u := lo; u < s.R2; u++ {
+		if s.degree[u] >= s.r2 {
+			continue
+		}
+		// The pair constraint: u's current members must not already
+		// share an upper router with i.
+		ok := true
+		for _, m := range s.members[u] {
+			if s.pair[i][m] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Symmetry break: the very first row is forced to 0..r1-1.
+		if i == 0 && u != j {
+			break
+		}
+		// Assign.
+		s.rows[i] = append(s.rows[i], u)
+		s.degree[u]++
+		for _, m := range s.members[u] {
+			s.pair[i][m] = true
+			s.pair[m][i] = true
+		}
+		s.members[u] = append(s.members[u], i)
+		if s.extendRow(i, j+1, u+1) {
+			return true
+		}
+		// Undo.
+		s.members[u] = s.members[u][:len(s.members[u])-1]
+		for _, m := range s.members[u] {
+			s.pair[i][m] = false
+			s.pair[m][i] = false
+		}
+		s.degree[u]--
+		s.rows[i] = s.rows[i][:len(s.rows[i])-1]
+	}
+	return false
+}

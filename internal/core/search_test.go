@@ -1,0 +1,89 @@
+package core
+
+import "testing"
+
+func TestSearchPatternFullMeshSizes(t *testing.T) {
+	// r2 = 2 instances are the subdivided complete graphs; the solver
+	// must find them quickly.
+	for _, r1 := range []int{2, 3, 4, 5} {
+		p, err := SearchPattern(r1, 2, 1_000_000)
+		if err != nil {
+			t.Fatalf("SPT(%d,2): %v", r1, err)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("SPT(%d,2) invalid: %v", r1, err)
+		}
+		if p.R1 != r1+1 || p.R2 != (r1+1)*r1/2 {
+			t.Errorf("SPT(%d,2) sizes %d/%d", r1, p.R1, p.R2)
+		}
+	}
+}
+
+// TestSearchPatternFanoPlane: SPT(3,3) is the Fano plane (projective
+// plane of order 2): 7 lower routers, 7 upper routers, every pair of
+// rows meeting in exactly one point.
+func TestSearchPatternFanoPlane(t *testing.T) {
+	p, err := SearchPattern(3, 3, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R1 != 7 || p.R2 != 7 {
+		t.Fatalf("SPT(3,3) sizes %d/%d, want 7/7", p.R1, p.R2)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchPatternMatchesML3BSize: SPT(4,4) exists (k-1 = 3 prime);
+// the solver finds a 13/13 pattern equivalent in size to the 4-ML3B.
+func TestSearchPatternMatchesML3BSize(t *testing.T) {
+	p, err := SearchPattern(4, 4, 50_000_000)
+	if err != nil {
+		t.Skipf("SPT(4,4) search did not complete in budget: %v", err)
+	}
+	if p.R1 != 13 || p.R2 != 13 {
+		t.Fatalf("SPT(4,4) sizes %d/%d, want 13/13", p.R1, p.R2)
+	}
+}
+
+func TestSearchPatternInfeasible(t *testing.T) {
+	// R1*r1 not divisible by r2.
+	if _, err := SearchPattern(2, 3, 1000); err == nil {
+		t.Error("SPT(2,3) divisibility violation accepted")
+	}
+	if _, err := SearchPattern(0, 2, 1000); err == nil {
+		t.Error("r1=0 accepted")
+	}
+	if _, err := SearchPattern(3, 1, 1000); err == nil {
+		t.Error("r2=1 accepted")
+	}
+}
+
+// TestSearchPatternBudget: a tiny budget terminates with an error
+// instead of hanging.
+func TestSearchPatternBudget(t *testing.T) {
+	if _, err := SearchPattern(4, 4, 10); err == nil {
+		t.Error("budget of 10 nodes cannot complete SPT(4,4)")
+	}
+}
+
+// TestSearchedPatternStacks: a searched pattern drops into the SSPT
+// machinery like the constructed ones.
+func TestSearchedPatternStacks(t *testing.T) {
+	p, err := SearchPattern(3, 3, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Stack(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 2*7*3 {
+		t.Errorf("stacked Fano SSPT N = %d, want 42", s.Nodes())
+	}
+	ports, links := s.CostPerNode()
+	if ports != 3 || links != 2 {
+		t.Errorf("cost %v/%v, want 3/2", ports, links)
+	}
+}

@@ -1,0 +1,204 @@
+// Package fluid is an analytic (fluid-flow) throughput model: it
+// computes per-link loads for a traffic pattern under minimal or
+// Valiant routing by splitting each flow evenly over its minimal
+// paths, and derives the theoretical saturation load as the inverse
+// of the most loaded link. It cross-validates the discrete-event
+// simulator — the Section 4.2 closed forms (1/(2p), 1/h, 1/k) drop
+// out of it directly — and gives instant estimates where simulation
+// would take minutes.
+package fluid
+
+import (
+	"fmt"
+
+	"diam2/internal/graph"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+)
+
+// Model holds the per-topology state for load computations.
+type Model struct {
+	tp   topo.Topology
+	g    *graph.Graph
+	dist [][]int
+	// cnt[u][v] = number of minimal u->v paths.
+	cnt [][]float64
+}
+
+// New builds the model (O(R^2) memory; fine at topology scale).
+func New(tp topo.Topology) *Model {
+	g := tp.Graph()
+	m := &Model{tp: tp, g: g, dist: g.DistanceMatrix()}
+	n := g.N()
+	m.cnt = make([][]float64, n)
+	for u := 0; u < n; u++ {
+		m.cnt[u] = make([]float64, n)
+		// BFS DAG path counting from u.
+		m.cnt[u][u] = 1
+		// Process vertices in increasing distance from u.
+		order := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			order = append(order, v)
+		}
+		// Counting sort by distance.
+		maxD := 0
+		for _, d := range m.dist[u] {
+			if d > maxD {
+				maxD = d
+			}
+		}
+		buckets := make([][]int, maxD+1)
+		for v, d := range m.dist[u] {
+			if d >= 0 {
+				buckets[d] = append(buckets[d], v)
+			}
+		}
+		for d := 1; d <= maxD; d++ {
+			for _, v := range buckets[d] {
+				var c float64
+				for _, w := range g.Neighbors(v) {
+					if m.dist[u][w] == d-1 {
+						c += m.cnt[u][w]
+					}
+				}
+				m.cnt[u][v] = c
+			}
+		}
+		_ = order
+	}
+	return m
+}
+
+// LinkLoads maps directed router links to relative load (flow units
+// crossing the link when every node injects one unit).
+type LinkLoads map[[2]int]float64
+
+// addFlow spreads `rate` units from router src to router dst evenly
+// over all minimal paths, accumulating directed link loads: the share
+// of edge (u,v) on shortest src->dst paths is
+// cnt(src,u)*cnt(v,dst)/cnt(src,dst).
+func (m *Model) addFlow(loads LinkLoads, src, dst int, rate float64) {
+	if src == dst || rate == 0 {
+		return
+	}
+	total := m.cnt[src][dst]
+	if total == 0 {
+		return
+	}
+	d := m.dist[src][dst]
+	for u := 0; u < m.g.N(); u++ {
+		du := m.dist[src][u]
+		if du < 0 || du >= d || m.cnt[src][u] == 0 {
+			continue
+		}
+		for _, v := range m.g.Neighbors(u) {
+			if m.dist[src][v] != du+1 || m.dist[v][dst] != d-du-1 {
+				continue
+			}
+			share := m.cnt[src][u] * m.cnt[v][dst] / total
+			if share > 0 {
+				loads[[2]int{u, v}] += rate * share
+			}
+		}
+	}
+}
+
+// MinimalPermutation computes link loads for a node permutation under
+// minimal routing (each node injects one unit).
+func (m *Model) MinimalPermutation(perm traffic.Permutation) (LinkLoads, error) {
+	if len(perm.Perm) != m.tp.Nodes() {
+		return nil, fmt.Errorf("fluid: permutation covers %d of %d nodes", len(perm.Perm), m.tp.Nodes())
+	}
+	loads := LinkLoads{}
+	for src, dst := range perm.Perm {
+		m.addFlow(loads, m.tp.NodeRouter(src), m.tp.NodeRouter(dst), 1)
+	}
+	return loads, nil
+}
+
+// MinimalUniform computes link loads for global uniform traffic under
+// minimal routing.
+func (m *Model) MinimalUniform() LinkLoads {
+	loads := LinkLoads{}
+	n := m.tp.Nodes()
+	rate := 1.0 / float64(n-1)
+	// Aggregate node pairs to router pairs.
+	eps := m.tp.EndpointRouters()
+	for _, rs := range eps {
+		ps := float64(len(m.tp.RouterNodes(rs)))
+		for _, rd := range eps {
+			if rs == rd {
+				continue
+			}
+			pd := float64(len(m.tp.RouterNodes(rd)))
+			m.addFlow(loads, rs, rd, ps*pd*rate)
+		}
+	}
+	return loads
+}
+
+// ValiantPermutation computes link loads for a permutation under
+// indirect random routing: each flow splits uniformly over the
+// eligible intermediates, routing minimally on both legs.
+func (m *Model) ValiantPermutation(perm traffic.Permutation) (LinkLoads, error) {
+	if len(perm.Perm) != m.tp.Nodes() {
+		return nil, fmt.Errorf("fluid: permutation covers %d of %d nodes", len(perm.Perm), m.tp.Nodes())
+	}
+	loads := LinkLoads{}
+	eligible := m.tp.EndpointRouters()
+	// Aggregate by router pair first (node-level loop would repeat
+	// identical work p times).
+	pairRate := map[[2]int]float64{}
+	for src, dst := range perm.Perm {
+		rs, rd := m.tp.NodeRouter(src), m.tp.NodeRouter(dst)
+		if rs != rd {
+			pairRate[[2]int{rs, rd}]++
+		}
+	}
+	for pair, rate := range pairRate {
+		rs, rd := pair[0], pair[1]
+		// Count usable intermediates (excluding src/dst routers).
+		usable := 0
+		for _, ri := range eligible {
+			if ri != rs && ri != rd {
+				usable++
+			}
+		}
+		if usable == 0 {
+			m.addFlow(loads, rs, rd, rate)
+			continue
+		}
+		w := rate / float64(usable)
+		for _, ri := range eligible {
+			if ri == rs || ri == rd {
+				continue
+			}
+			m.addFlow(loads, rs, ri, w)
+			m.addFlow(loads, ri, rd, w)
+		}
+	}
+	return loads, nil
+}
+
+// MaxLoad returns the highest directed-link load.
+func (l LinkLoads) MaxLoad() float64 {
+	var max float64
+	for _, v := range l {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Saturation converts loads into the theoretical saturation fraction:
+// the injection rate at which the hottest link reaches capacity
+// (1 / max relative load; 1.0 when no link ever exceeds the per-node
+// injection rate).
+func (l LinkLoads) Saturation() float64 {
+	m := l.MaxLoad()
+	if m <= 1 {
+		return 1
+	}
+	return 1 / m
+}

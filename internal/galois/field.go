@@ -1,0 +1,272 @@
+// Package galois implements arithmetic in finite (Galois) fields GF(q)
+// for arbitrary prime powers q = p^n.
+//
+// The Slim Fly topology construction requires a primitive element of
+// GF(q) and arithmetic over the field to derive the MMS generator sets,
+// and the MOLS construction behind the Orthogonal Fat-Tree uses prime
+// fields. Elements are represented as integers in [0, q): for prime
+// fields the integer is the residue itself; for extension fields
+// GF(p^n) the integer encodes the coefficient vector of a polynomial
+// over GF(p) in base p (least-significant coefficient first).
+package galois
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Field is a finite field GF(q), q = p^n. The zero value is not usable;
+// construct with New.
+type Field struct {
+	p     int   // characteristic (prime)
+	n     int   // extension degree
+	q     int   // order, p^n
+	irred []int // monic irreducible polynomial of degree n over GF(p) (len n+1), nil for n == 1
+
+	// Multiplication via discrete log tables: exp[i] = g^i for a
+	// primitive element g, log[x] = i such that g^i = x (x != 0).
+	exp []int
+	log []int
+}
+
+// ErrNotPrimePower reports that the requested order is not a prime power.
+var ErrNotPrimePower = errors.New("galois: order is not a prime power")
+
+// New constructs GF(q). It returns ErrNotPrimePower if q is not a prime
+// power or q < 2.
+func New(q int) (*Field, error) {
+	p, n, ok := factorPrimePower(q)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotPrimePower, q)
+	}
+	f := &Field{p: p, n: n, q: q}
+	if n > 1 {
+		irred, err := findIrreducible(p, n)
+		if err != nil {
+			return nil, err
+		}
+		f.irred = irred
+	}
+	if err := f.buildTables(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustNew is New but panics on error; intended for parameters already
+// validated by the caller (e.g. topology constructors).
+func MustNew(q int) *Field {
+	f, err := New(q)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Order returns q, the number of elements.
+func (f *Field) Order() int { return f.q }
+
+// Char returns the characteristic p.
+func (f *Field) Char() int { return f.p }
+
+// Degree returns the extension degree n (q = p^n).
+func (f *Field) Degree() int { return f.n }
+
+// Primitive returns a primitive element (multiplicative generator).
+// For GF(2) this is 1, the only nonzero element.
+func (f *Field) Primitive() int { return f.Exp(1) }
+
+// Add returns a + b in the field.
+func (f *Field) Add(a, b int) int {
+	f.check(a)
+	f.check(b)
+	if f.n == 1 {
+		s := a + b
+		if s >= f.p {
+			s -= f.p
+		}
+		return s
+	}
+	// Coefficient-wise addition mod p in base-p encoding.
+	s := 0
+	for mul := 1; a > 0 || b > 0; mul *= f.p {
+		d := a%f.p + b%f.p
+		if d >= f.p {
+			d -= f.p
+		}
+		s += d * mul
+		a /= f.p
+		b /= f.p
+	}
+	return s
+}
+
+// Neg returns -a in the field.
+func (f *Field) Neg(a int) int {
+	f.check(a)
+	if f.n == 1 {
+		if a == 0 {
+			return 0
+		}
+		return f.p - a
+	}
+	s := 0
+	for mul := 1; a > 0; mul *= f.p {
+		d := a % f.p
+		if d != 0 {
+			d = f.p - d
+		}
+		s += d * mul
+		a /= f.p
+	}
+	return s
+}
+
+// Sub returns a - b in the field.
+func (f *Field) Sub(a, b int) int { return f.Add(a, f.Neg(b)) }
+
+// Mul returns a * b in the field.
+func (f *Field) Mul(a, b int) int {
+	f.check(a)
+	f.check(b)
+	if a == 0 || b == 0 {
+		return 0
+	}
+	i := f.log[a] + f.log[b]
+	if i >= f.q-1 {
+		i -= f.q - 1
+	}
+	return f.exp[i]
+}
+
+// Inv returns the multiplicative inverse of a; it panics if a == 0.
+func (f *Field) Inv(a int) int {
+	f.check(a)
+	if a == 0 {
+		panic("galois: inverse of zero")
+	}
+	i := f.log[a]
+	if i == 0 {
+		return a // a == 1
+	}
+	return f.exp[f.q-1-i]
+}
+
+// Div returns a / b; it panics if b == 0.
+func (f *Field) Div(a, b int) int { return f.Mul(a, f.Inv(b)) }
+
+// Pow returns a^k for k >= 0 (with a^0 == 1, including 0^0 == 1).
+func (f *Field) Pow(a, k int) int {
+	f.check(a)
+	if k < 0 {
+		panic("galois: negative exponent")
+	}
+	if k == 0 {
+		return 1 % f.q
+	}
+	if a == 0 {
+		return 0
+	}
+	i := (f.log[a] * (k % (f.q - 1))) % (f.q - 1)
+	return f.exp[i]
+}
+
+// Exp returns g^i for the field's primitive element g.
+func (f *Field) Exp(i int) int {
+	m := i % (f.q - 1)
+	if m < 0 {
+		m += f.q - 1
+	}
+	return f.exp[m]
+}
+
+// Log returns the discrete logarithm of a to the primitive base;
+// it panics if a == 0.
+func (f *Field) Log(a int) int {
+	f.check(a)
+	if a == 0 {
+		panic("galois: log of zero")
+	}
+	return f.log[a]
+}
+
+// Elements returns all field elements 0..q-1.
+func (f *Field) Elements() []int {
+	e := make([]int, f.q)
+	for i := range e {
+		e[i] = i
+	}
+	return e
+}
+
+func (f *Field) check(a int) {
+	if a < 0 || a >= f.q {
+		panic(fmt.Sprintf("galois: element %d out of range [0,%d)", a, f.q))
+	}
+}
+
+// rawMul multiplies two elements directly (polynomial multiplication
+// modulo the irreducible polynomial for extensions, modular
+// multiplication for prime fields). Used to bootstrap the log tables.
+func (f *Field) rawMul(a, b int) int {
+	if f.n == 1 {
+		return a * b % f.p
+	}
+	ac := f.decode(a)
+	bc := f.decode(b)
+	prod := make([]int, len(ac)+len(bc)-1)
+	for i, x := range ac {
+		if x == 0 {
+			continue
+		}
+		for j, y := range bc {
+			prod[i+j] = (prod[i+j] + x*y) % f.p
+		}
+	}
+	prod = polyMod(prod, f.irred, f.p)
+	return f.encode(prod)
+}
+
+func (f *Field) decode(a int) []int {
+	c := make([]int, f.n)
+	for i := 0; i < f.n; i++ {
+		c[i] = a % f.p
+		a /= f.p
+	}
+	return c
+}
+
+func (f *Field) encode(c []int) int {
+	a := 0
+	for i := len(c) - 1; i >= 0; i-- {
+		a = a*f.p + c[i]
+	}
+	return a
+}
+
+// buildTables finds a primitive element and fills exp/log tables.
+func (f *Field) buildTables() error {
+	f.exp = make([]int, f.q-1)
+	f.log = make([]int, f.q)
+	for cand := 1; cand < f.q; cand++ {
+		if f.tryGenerator(cand) {
+			return nil
+		}
+	}
+	return fmt.Errorf("galois: no primitive element found for q=%d (internal error)", f.q)
+}
+
+func (f *Field) tryGenerator(g int) bool {
+	seen := make([]bool, f.q)
+	x := 1
+	for i := 0; i < f.q-1; i++ {
+		if seen[x] {
+			return false // order of g divides i < q-1
+		}
+		seen[x] = true
+		f.exp[i] = x
+		f.log[x] = i
+		x = f.rawMul(x, g)
+	}
+	return x == 1
+}

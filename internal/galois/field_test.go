@@ -1,0 +1,285 @@
+package galois
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorPrimePower(t *testing.T) {
+	cases := []struct {
+		q, p, n int
+		ok      bool
+	}{
+		{2, 2, 1, true}, {3, 3, 1, true}, {4, 2, 2, true}, {5, 5, 1, true},
+		{8, 2, 3, true}, {9, 3, 2, true}, {13, 13, 1, true}, {16, 2, 4, true},
+		{25, 5, 2, true}, {27, 3, 3, true}, {32, 2, 5, true}, {49, 7, 2, true},
+		{1, 0, 0, false}, {6, 0, 0, false}, {12, 0, 0, false}, {100, 0, 0, false},
+		{0, 0, 0, false}, {-4, 0, 0, false}, {15, 0, 0, false}, {36, 0, 0, false},
+	}
+	for _, c := range cases {
+		p, n, ok := factorPrimePower(c.q)
+		if ok != c.ok || (ok && (p != c.p || n != c.n)) {
+			t.Errorf("factorPrimePower(%d) = (%d,%d,%v), want (%d,%d,%v)", c.q, p, n, ok, c.p, c.n, c.ok)
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 11311}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	composites := []int{-7, 0, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 49, 91, 1001}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true, want false", c)
+		}
+	}
+}
+
+func TestNewRejectsNonPrimePowers(t *testing.T) {
+	for _, q := range []int{0, 1, 6, 10, 12, 14, 15, 18, 20, 100} {
+		if _, err := New(q); err == nil {
+			t.Errorf("New(%d) succeeded, want error", q)
+		}
+	}
+}
+
+// fieldOrders is the set of orders exercised by the exhaustive axiom tests.
+var fieldOrders = []int{2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 25, 27, 29, 32, 37}
+
+func TestFieldAxiomsExhaustive(t *testing.T) {
+	for _, q := range fieldOrders {
+		f := MustNew(q)
+		if f.Order() != q {
+			t.Fatalf("q=%d: Order() = %d", q, f.Order())
+		}
+		for a := 0; a < q; a++ {
+			if f.Add(a, 0) != a {
+				t.Fatalf("q=%d: %d + 0 != %d", q, a, a)
+			}
+			if f.Mul(a, 1) != a {
+				t.Fatalf("q=%d: %d * 1 != %d", q, a, a)
+			}
+			if f.Add(a, f.Neg(a)) != 0 {
+				t.Fatalf("q=%d: %d + (-%d) != 0", q, a, a)
+			}
+			if a != 0 {
+				if f.Mul(a, f.Inv(a)) != 1 {
+					t.Fatalf("q=%d: %d * %d^-1 != 1", q, a, a)
+				}
+			}
+			for b := 0; b < q; b++ {
+				if f.Add(a, b) != f.Add(b, a) {
+					t.Fatalf("q=%d: add not commutative at (%d,%d)", q, a, b)
+				}
+				if f.Mul(a, b) != f.Mul(b, a) {
+					t.Fatalf("q=%d: mul not commutative at (%d,%d)", q, a, b)
+				}
+				if f.Sub(f.Add(a, b), b) != a {
+					t.Fatalf("q=%d: (a+b)-b != a at (%d,%d)", q, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFieldAssociativityAndDistributivity(t *testing.T) {
+	for _, q := range []int{4, 5, 8, 9, 13, 16, 25} {
+		f := MustNew(q)
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				for c := 0; c < q; c++ {
+					if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+						t.Fatalf("q=%d: add not associative at (%d,%d,%d)", q, a, b, c)
+					}
+					if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+						t.Fatalf("q=%d: mul not associative at (%d,%d,%d)", q, a, b, c)
+					}
+					if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+						t.Fatalf("q=%d: not distributive at (%d,%d,%d)", q, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrimitiveElementOrder(t *testing.T) {
+	for _, q := range fieldOrders {
+		f := MustNew(q)
+		g := f.Primitive()
+		seen := make(map[int]bool)
+		x := 1
+		for i := 0; i < q-1; i++ {
+			if seen[x] {
+				t.Fatalf("q=%d: primitive element %d has order < q-1", q, g)
+			}
+			seen[x] = true
+			x = f.Mul(x, g)
+		}
+		if x != 1 {
+			t.Fatalf("q=%d: g^(q-1) = %d, want 1", q, x)
+		}
+		if len(seen) != q-1 {
+			t.Fatalf("q=%d: generator cycle covers %d elements, want %d", q, len(seen), q-1)
+		}
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for _, q := range fieldOrders {
+		f := MustNew(q)
+		for a := 1; a < q; a++ {
+			if f.Exp(f.Log(a)) != a {
+				t.Fatalf("q=%d: Exp(Log(%d)) != %d", q, a, a)
+			}
+		}
+		for i := 0; i < 2*(q-1); i++ {
+			if f.Log(f.Exp(i)) != i%(q-1) {
+				t.Fatalf("q=%d: Log(Exp(%d)) != %d", q, i, i%(q-1))
+			}
+		}
+		if f.Exp(-1) != f.Exp(q-2) {
+			t.Fatalf("q=%d: negative exponent wrap failed", q)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	for _, q := range []int{5, 8, 9, 13} {
+		f := MustNew(q)
+		for a := 0; a < q; a++ {
+			want := 1
+			for k := 0; k <= 2*q; k++ {
+				if got := f.Pow(a, k); got != want {
+					t.Fatalf("q=%d: Pow(%d,%d) = %d, want %d", q, a, k, got, want)
+				}
+				want = f.Mul(want, a)
+			}
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	f := MustNew(13)
+	for a := 0; a < 13; a++ {
+		for b := 1; b < 13; b++ {
+			if f.Mul(f.Div(a, b), b) != a {
+				t.Fatalf("Div(%d,%d)*%d != %d", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	MustNew(7).Inv(0)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with out-of-range element did not panic")
+		}
+	}()
+	MustNew(7).Add(7, 0)
+}
+
+// Property-based checks on a prime and an extension field.
+func TestQuickFieldProperties(t *testing.T) {
+	for _, q := range []int{13, 16, 27} {
+		f := MustNew(q)
+		mod := func(x int) int {
+			m := x % q
+			if m < 0 {
+				m += q
+			}
+			return m
+		}
+		addComm := func(x, y int) bool {
+			a, b := mod(x), mod(y)
+			return f.Add(a, b) == f.Add(b, a)
+		}
+		mulDist := func(x, y, z int) bool {
+			a, b, c := mod(x), mod(y), mod(z)
+			return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+		}
+		negInvolutive := func(x int) bool {
+			a := mod(x)
+			return f.Neg(f.Neg(a)) == a
+		}
+		if err := quick.Check(addComm, nil); err != nil {
+			t.Errorf("q=%d addComm: %v", q, err)
+		}
+		if err := quick.Check(mulDist, nil); err != nil {
+			t.Errorf("q=%d mulDist: %v", q, err)
+		}
+		if err := quick.Check(negInvolutive, nil); err != nil {
+			t.Errorf("q=%d negInvolutive: %v", q, err)
+		}
+	}
+}
+
+func TestIrreduciblePolynomials(t *testing.T) {
+	cases := []struct{ p, n int }{{2, 2}, {2, 3}, {2, 4}, {2, 5}, {3, 2}, {3, 3}, {5, 2}, {7, 2}}
+	for _, c := range cases {
+		poly, err := findIrreducible(c.p, c.n)
+		if err != nil {
+			t.Fatalf("findIrreducible(%d,%d): %v", c.p, c.n, err)
+		}
+		if len(poly) != c.n+1 || poly[c.n] != 1 {
+			t.Fatalf("findIrreducible(%d,%d) = %v: not monic degree %d", c.p, c.n, poly, c.n)
+		}
+		if !isIrreducible(poly, c.p) {
+			t.Fatalf("findIrreducible(%d,%d) = %v: not irreducible", c.p, c.n, poly)
+		}
+	}
+	// x^2 over GF(2) is reducible (x*x).
+	if isIrreducible([]int{0, 0, 1}, 2) {
+		t.Error("x^2 reported irreducible over GF(2)")
+	}
+	// x^2+1 over GF(2) = (x+1)^2 is reducible.
+	if isIrreducible([]int{1, 0, 1}, 2) {
+		t.Error("x^2+1 reported irreducible over GF(2)")
+	}
+	// x^2+1 over GF(3) is irreducible (-1 is not a QR mod 3).
+	if !isIrreducible([]int{1, 0, 1}, 3) {
+		t.Error("x^2+1 reported reducible over GF(3)")
+	}
+}
+
+func TestElements(t *testing.T) {
+	f := MustNew(9)
+	e := f.Elements()
+	if len(e) != 9 {
+		t.Fatalf("Elements() length = %d, want 9", len(e))
+	}
+	for i, v := range e {
+		if v != i {
+			t.Fatalf("Elements()[%d] = %d", i, v)
+		}
+	}
+}
+
+func BenchmarkMulPrime(b *testing.B) {
+	f := MustNew(13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.Mul(i%12+1, (i+5)%12+1)
+	}
+}
+
+func BenchmarkMulExtension(b *testing.B) {
+	f := MustNew(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.Mul(i%31+1, (i+5)%31+1)
+	}
+}

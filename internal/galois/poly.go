@@ -1,0 +1,130 @@
+package galois
+
+import "fmt"
+
+// factorPrimePower decomposes q = p^n with p prime, n >= 1.
+func factorPrimePower(q int) (p, n int, ok bool) {
+	if q < 2 {
+		return 0, 0, false
+	}
+	p = smallestPrimeFactor(q)
+	n = 0
+	for q > 1 {
+		if q%p != 0 {
+			return 0, 0, false
+		}
+		q /= p
+		n++
+	}
+	return p, n, true
+}
+
+func smallestPrimeFactor(x int) int {
+	for d := 2; d*d <= x; d++ {
+		if x%d == 0 {
+			return d
+		}
+	}
+	return x
+}
+
+// IsPrimePower reports whether q is a prime power (q >= 2).
+func IsPrimePower(q int) bool {
+	_, _, ok := factorPrimePower(q)
+	return ok
+}
+
+// IsPrime reports whether x is prime.
+func IsPrime(x int) bool {
+	if x < 2 {
+		return false
+	}
+	return smallestPrimeFactor(x) == x
+}
+
+// polyMod reduces poly modulo the monic polynomial mod, over GF(p).
+// Coefficients are least-significant first. The result has degree
+// < deg(mod) and is truncated to len(mod)-1 entries.
+func polyMod(poly, mod []int, p int) []int {
+	out := make([]int, len(poly))
+	copy(out, poly)
+	dm := len(mod) - 1
+	for i := len(out) - 1; i >= dm; i-- {
+		c := out[i]
+		if c == 0 {
+			continue
+		}
+		// out -= c * x^(i-dm) * mod  (mod is monic)
+		for j := 0; j <= dm; j++ {
+			out[i-dm+j] = ((out[i-dm+j]-c*mod[j])%p + p*p) % p
+		}
+	}
+	if len(out) > dm {
+		out = out[:dm]
+	}
+	return out
+}
+
+// polyEvalish tests reducibility: a degree-n polynomial over GF(p) is
+// irreducible iff it has no factor of degree <= n/2. For the small n
+// used here (q <= a few thousand) trial division by all monic
+// polynomials of degree <= n/2 is affordable.
+func isIrreducible(poly []int, p int) bool {
+	n := len(poly) - 1
+	if n <= 0 {
+		return false
+	}
+	for d := 1; d <= n/2; d++ {
+		// Enumerate monic polynomials of degree d: d free coefficients.
+		count := intPow(p, d)
+		for code := 0; code < count; code++ {
+			div := make([]int, d+1)
+			c := code
+			for i := 0; i < d; i++ {
+				div[i] = c % p
+				c /= p
+			}
+			div[d] = 1
+			if polyIsZero(polyMod(poly, div, p)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func polyIsZero(poly []int) bool {
+	for _, c := range poly {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func intPow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// findIrreducible returns a monic irreducible polynomial of degree n
+// over GF(p), coefficients least-significant first, length n+1.
+func findIrreducible(p, n int) ([]int, error) {
+	count := intPow(p, n)
+	for code := 0; code < count; code++ {
+		poly := make([]int, n+1)
+		c := code
+		for i := 0; i < n; i++ {
+			poly[i] = c % p
+			c /= p
+		}
+		poly[n] = 1
+		if isIrreducible(poly, p) {
+			return poly, nil
+		}
+	}
+	return nil, fmt.Errorf("galois: no irreducible polynomial of degree %d over GF(%d)", n, p)
+}

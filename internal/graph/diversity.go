@@ -1,0 +1,60 @@
+package graph
+
+// DiversityStats summarizes the minimal-path diversity between vertex
+// pairs at a given distance (Section 2.3.3 of the paper).
+type DiversityStats struct {
+	Pairs    int     // number of ordered pairs considered
+	Mean     float64 // mean number of minimal paths
+	Max      int     // maximum number of minimal paths
+	Min      int     // minimum number of minimal paths
+	AtLeast2 int     // pairs with more than one minimal path
+}
+
+// PathDiversityAtDistance computes minimal-path diversity statistics
+// over all ordered vertex pairs (u,v) with d(u,v) == dist, restricted
+// to the vertices for which include(v) is true (pass nil to include
+// all). For diameter-two graphs and dist == 2 the path count equals
+// the number of common neighbors, which is what this uses; for other
+// distances it falls back to full shortest-path counting.
+func (g *Graph) PathDiversityAtDistance(dist int, include func(int) bool) DiversityStats {
+	var st DiversityStats
+	st.Min = -1
+	dmat := g.DistanceMatrix()
+	for u := 0; u < g.n; u++ {
+		if include != nil && !include(u) {
+			continue
+		}
+		for v := 0; v < g.n; v++ {
+			if u == v || dmat[u][v] != dist {
+				continue
+			}
+			if include != nil && !include(v) {
+				continue
+			}
+			var paths int
+			if dist == 2 {
+				paths = len(g.CommonNeighbors(u, v))
+			} else {
+				paths = g.CountMinimalPaths(u, v)
+			}
+			st.Pairs++
+			st.Mean += float64(paths)
+			if paths > st.Max {
+				st.Max = paths
+			}
+			if st.Min == -1 || paths < st.Min {
+				st.Min = paths
+			}
+			if paths >= 2 {
+				st.AtLeast2++
+			}
+		}
+	}
+	if st.Pairs > 0 {
+		st.Mean /= float64(st.Pairs)
+	}
+	if st.Min == -1 {
+		st.Min = 0
+	}
+	return st
+}

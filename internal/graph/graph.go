@@ -1,0 +1,158 @@
+// Package graph provides the undirected-graph substrate used by the
+// topology constructions and analyses: adjacency storage, BFS,
+// all-pairs distance matrices, diameter, minimal-path counting and
+// diversity statistics, and common-neighbor queries.
+//
+// Vertices are dense integers 0..N-1 (router indices). The structures
+// are deliberately simple and allocation-friendly: topology graphs in
+// this repository have at most a few thousand vertices.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph over vertices 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]int // sorted neighbor lists
+}
+
+// New creates an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicate
+// edges are rejected with an error.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error; for use by constructors
+// whose correctness is established by tests.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+// Neighbors returns the sorted neighbor list of u. The returned slice
+// is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	m := 0
+	for _, a := range g.adj {
+		m += len(a)
+	}
+	return m / 2
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, a := range g.adj {
+		if len(a) > d {
+			d = len(a)
+		}
+	}
+	return d
+}
+
+// MinDegree returns the minimum vertex degree (0 for an empty graph).
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	d := len(g.adj[0])
+	for _, a := range g.adj {
+		if len(a) < d {
+			d = len(a)
+		}
+	}
+	return d
+}
+
+// Edges returns all undirected edges as pairs (u < v), in sorted order.
+func (g *Graph) Edges() [][2]int {
+	es := make([][2]int, 0, g.NumEdges())
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				es = append(es, [2]int{u, v})
+			}
+		}
+	}
+	return es
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := range g.adj {
+		c.adj[u] = append([]int(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// CommonNeighbors returns the sorted intersection of the neighbor
+// lists of u and v.
+func (g *Graph) CommonNeighbors(u, v int) []int {
+	a, b := g.adj[u], g.adj[v]
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

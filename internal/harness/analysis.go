@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+
+	"diam2/internal/core"
+	"diam2/internal/partition"
+	"diam2/internal/topo"
+)
+
+// Table2ML3B regenerates Table 2: the tabular representation of the
+// k-ML3B.
+func Table2ML3B(k int) (*Table, error) {
+	p, err := core.ML3BPattern(k)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Table 2: %d-ML3B tabular representation", k),
+		Header: []string{"i", "j: (1,j) connected to (0,i)"},
+	}
+	for i, row := range p.Up {
+		cells := ""
+		for j, v := range row {
+			if j > 0 {
+				cells += " "
+			}
+			cells += d(v)
+		}
+		t.AddRow(d(i), cells)
+	}
+	return t, nil
+}
+
+// Fig3Scalability regenerates the Fig. 3 scalability plot and cost
+// table: the largest instance of each family per router radix.
+func Fig3Scalability(radices []int) *Table {
+	t := &Table{
+		Title:  "Fig. 3: scale and cost of low-diameter topologies",
+		Header: []string{"radix", "family", "param", "N", "diam", "links/N", "ports/N"},
+	}
+	for _, r := range radices {
+		for _, e := range topo.ScalingTable(r) {
+			t.AddRow(d(r), e.Family, d(e.Param), d(e.Nodes), d(e.Diameter), f2(e.LinksPerNode), f2(e.PortsPerNode))
+		}
+	}
+	return t
+}
+
+// BisectionEstimate computes the Fig. 4 metric for one topology.
+func BisectionEstimate(tp topo.Topology, restarts, passes int, seed int64) (float64, error) {
+	w := make([]int, tp.Graph().N())
+	for r := range w {
+		w[r] = len(tp.RouterNodes(r))
+	}
+	res, err := partition.Bisect(tp.Graph(), w, partition.Config{Seed: seed, Restarts: restarts, Passes: passes})
+	if err != nil {
+		return 0, err
+	}
+	return partition.BisectionPerNode(res.Cut, tp.Nodes()), nil
+}
+
+// Fig4Bisection regenerates the Fig. 4 approximate bisection
+// bandwidth per end-node for a set of presets.
+func Fig4Bisection(presets []Preset, restarts, passes int, seed int64) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 4: approximate bisection bandwidth per end-node (fraction of link bandwidth b)",
+		Header: []string{"topology", "N", "R", "bisection/node"},
+	}
+	for _, p := range presets {
+		tp, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		b, err := BisectionEstimate(tp, restarts, passes, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.Name, d(tp.Nodes()), d(tp.Graph().N()), f3(b))
+	}
+	return t, nil
+}
+
+// DiversityReport reproduces the Section 2.3.3 shortest-path
+// diversity statistics for a topology (distance-2 endpoint-router
+// pairs).
+func DiversityReport(tp topo.Topology) *Table {
+	eps := make(map[int]bool)
+	for _, r := range tp.EndpointRouters() {
+		eps[r] = true
+	}
+	st := tp.Graph().PathDiversityAtDistance(2, func(v int) bool { return eps[v] })
+	t := &Table{
+		Title:  fmt.Sprintf("Sec. 2.3.3: minimal-path diversity of %s (distance-2 endpoint-router pairs)", tp.Name()),
+		Header: []string{"pairs", "mean", "max", "min", ">=2 paths"},
+	}
+	t.AddRow(d(st.Pairs), f3(st.Mean), d(st.Max), d(st.Min), d(st.AtLeast2))
+	return t
+}

@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diam2/internal/plot"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+)
+
+// DefaultLoads is the offered-load sweep used by the synthetic
+// figures.
+func DefaultLoads() []float64 {
+	return []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+}
+
+// Fig6Oblivious regenerates Fig. 6: throughput (and saturation
+// points) for oblivious MIN and INR routing under uniform (6a) or
+// worst-case (6b) traffic across the given presets.
+func Fig6Oblivious(presets []Preset, pat PatternKind, loads []float64, scale Scale) (*Table, error) {
+	sub := "6a (uniform)"
+	if pat == PatWC {
+		sub = "6b (worst case)"
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. %s: oblivious routing throughput", sub),
+		Header: []string{"topology", "routing", "load", "throughput", "avg latency (cycles)"},
+	}
+	thrChart := &plot.Chart{Title: t.Title, XLabel: "offered load", YLabel: "delivered throughput"}
+	latChart := &plot.Chart{Title: t.Title + " — latency", XLabel: "offered load", YLabel: "avg latency (cycles)"}
+	for _, p := range presets {
+		tp, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []AlgKind{AlgMIN, AlgINR} {
+			thr := plot.Series{Label: p.Name + " " + kind.String()}
+			lat := plot.Series{Label: thr.Label}
+			for _, load := range loads {
+				res, err := RunSynthetic(tp, kind, p.BestAdaptive, pat, load, scale)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(p.Name, kind.String(), f2(load), f3(res.Throughput), f1(res.AvgLatency))
+				thr.X = append(thr.X, load)
+				thr.Y = append(thr.Y, res.Throughput)
+				lat.X = append(lat.X, load)
+				lat.Y = append(lat.Y, res.AvgLatency)
+			}
+			thrChart.Add(thr)
+			latChart.Add(lat)
+		}
+	}
+	t.Charts = []*plot.Chart{thrChart, latChart}
+	return t, nil
+}
+
+// AdaptiveSweep regenerates one of Figs. 7-12: an adaptive algorithm
+// on one topology, sweeping either nI (with the cost constant fixed)
+// or the cost constant (with nI fixed), under uniform and worst-case
+// traffic. kind is AlgA for the generic UGAL figures (7, 9, 10) and
+// AlgATh for the threshold figures (8, 11, 12).
+func AdaptiveSweep(p Preset, kind AlgKind, varyNI []int, varyC []float64, fixedNI int, fixedC float64, loads []float64, scale Scale) (*Table, error) {
+	tp, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Adaptive sweep: %s %s", p.Name, kind),
+		Header: []string{"pattern", "nI", "c", "load", "throughput", "avg latency (cycles)", "indirect frac"},
+	}
+	thrChart := &plot.Chart{Title: t.Title, XLabel: "offered load", YLabel: "delivered throughput"}
+	latChart := &plot.Chart{Title: t.Title + " — latency", XLabel: "offered load", YLabel: "avg latency (cycles)"}
+	addRuns := func(ni int, c float64) error {
+		cfg := p.BestAdaptive
+		cfg.NI = ni
+		if p.SFStyle {
+			cfg.CSF = c
+		} else {
+			cfg.C = c
+		}
+		for _, pat := range []PatternKind{PatUNI, PatWC} {
+			thr := plot.Series{Label: fmt.Sprintf("%s nI=%d c=%g", pat, ni, c)}
+			lat := plot.Series{Label: thr.Label}
+			for _, load := range loads {
+				res, err := RunSynthetic(tp, kind, cfg, pat, load, scale)
+				if err != nil {
+					return err
+				}
+				t.AddRow(pat.String(), d(ni), f2(c), f2(load), f3(res.Throughput), f1(res.AvgLatency), f3(res.IndirectFrac))
+				thr.X = append(thr.X, load)
+				thr.Y = append(thr.Y, res.Throughput)
+				lat.X = append(lat.X, load)
+				lat.Y = append(lat.Y, res.AvgLatency)
+			}
+			thrChart.Add(thr)
+			latChart.Add(lat)
+		}
+		return nil
+	}
+	for _, ni := range varyNI {
+		if err := addRuns(ni, fixedC); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range varyC {
+		if err := addRuns(fixedNI, c); err != nil {
+			return nil, err
+		}
+	}
+	t.Charts = []*plot.Chart{thrChart, latChart}
+	return t, nil
+}
+
+// ExchangeKind selects the Section 4.4 exchange.
+type ExchangeKind int
+
+// Exchange patterns.
+const (
+	ExA2A ExchangeKind = iota // all-to-all
+	ExNN                      // 3-D torus nearest neighbor
+)
+
+// buildExchange constructs the exchange workload for a topology.
+func buildExchange(tp topo.Topology, kind ExchangeKind, scale Scale) (*traffic.Exchange, error) {
+	nodes := tp.Nodes()
+	switch kind {
+	case ExA2A:
+		return traffic.AllToAll(nodes, scale.A2APackets, rand.New(rand.NewSource(scale.Seed))), nil
+	case ExNN:
+		tor, err := traffic.TorusFor(tp)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NearestNeighbor(tor, nodes, scale.NNPackets)
+	default:
+		return nil, fmt.Errorf("harness: unknown exchange %d", kind)
+	}
+}
+
+// FigExchange regenerates Fig. 13 (A2A) or Fig. 14 (NN): effective
+// throughput of one exchange per topology under MIN, INR and the
+// topology's best adaptive configuration.
+func FigExchange(presets []Preset, kind ExchangeKind, scale Scale) (*Table, error) {
+	label, fig := "all-to-all", "13"
+	if kind == ExNN {
+		label, fig = "nearest-neighbor", "14"
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. %s: effective throughput for one %s exchange", fig, label),
+		Header: []string{"topology", "routing", "effective throughput", "completion (cycles)"},
+	}
+	for _, p := range presets {
+		tp, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range []AlgKind{AlgMIN, AlgINR, AlgA} {
+			ex, err := buildExchange(tp, kind, scale)
+			if err != nil {
+				return nil, err
+			}
+			res, eff, err := RunExchange(tp, alg, p.BestAdaptive, ex, scale)
+			if err != nil {
+				return nil, err
+			}
+			name := alg.String()
+			if alg == AlgA {
+				name = p.Name[:pfxLen(p.Name)] + "-A"
+			}
+			t.AddRow(p.Name, name, f3(eff), d(int(res.Cycles)))
+		}
+	}
+	return t, nil
+}
+
+// pfxLen returns the topology-family prefix length of a preset name
+// ("SF(q=13,p=9)" -> "SF").
+func pfxLen(name string) int {
+	for i, c := range name {
+		if c == '(' {
+			return i
+		}
+	}
+	return len(name)
+}

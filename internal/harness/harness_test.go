@@ -1,0 +1,330 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "t", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== t ==", "a", "bb", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Generator(t *testing.T) {
+	tab, err := Table2ML3B(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "9 10 11 12" {
+		t.Errorf("row 0 = %q, want \"9 10 11 12\"", tab.Rows[0][1])
+	}
+	if tab.Rows[12][1] != "12 2 4 6" {
+		t.Errorf("row 12 = %q", tab.Rows[12][1])
+	}
+	if _, err := Table2ML3B(5); err == nil {
+		t.Error("k=5 accepted (k-1 not prime)")
+	}
+}
+
+func TestFig3Generator(t *testing.T) {
+	tab := Fig3Scalability([]int{12, 24})
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	families := map[string]bool{}
+	for _, r := range tab.Rows {
+		families[r[1]] = true
+	}
+	for _, want := range []string{"HyperX", "SlimFly(floor)", "SlimFly(ceil)", "FatTree2", "FatTree3", "MLFM", "OFT"} {
+		if !families[want] {
+			t.Errorf("family %s missing from Fig. 3 table", want)
+		}
+	}
+}
+
+func TestFig4Generator(t *testing.T) {
+	tab, err := Fig4Bisection(SmallPresets(), 6, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+}
+
+func TestDiversityReportGenerator(t *testing.T) {
+	p := SmallPresets()[1] // MLFM(6)
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := DiversityReport(tp)
+	if len(tab.Rows) != 1 {
+		t.Fatal("diversity report should have one row")
+	}
+}
+
+func TestPresetsBuild(t *testing.T) {
+	for _, p := range append(SmallPresets(), PaperPresets()...) {
+		tp, err := p.Build()
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if tp.Nodes() == 0 {
+			t.Errorf("%s: no nodes", p.Name)
+		}
+	}
+}
+
+func TestRunSyntheticQuick(t *testing.T) {
+	p := SmallPresets()[1] // MLFM(6)
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := QuickScale()
+	res, err := RunSynthetic(tp, AlgMIN, p.BestAdaptive, PatUNI, 0.5, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput < 0.4 || res.Throughput > 0.6 {
+		t.Errorf("uniform MIN throughput %.3f at load 0.5", res.Throughput)
+	}
+	wc, err := RunSynthetic(tp, AlgMIN, p.BestAdaptive, PatWC, 1.0, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WC saturation ~ 1/h = 1/6 for MLFM(6).
+	if wc.Throughput > 0.30 {
+		t.Errorf("WC MIN throughput %.3f, want near 1/6", wc.Throughput)
+	}
+}
+
+func TestSaturationPoint(t *testing.T) {
+	p := SmallPresets()[2] // OFT(6)
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := QuickScale()
+	sat, curve, err := SaturationPoint(tp, AlgMIN, p.BestAdaptive, PatWC, []float64{0.05, 0.2, 0.6}, 0.08, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	// OFT(6) WC minimal saturates near 1/k = 1/6; 0.05 should pass,
+	// 0.6 must not.
+	if sat < 0.04 || sat > 0.25 {
+		t.Errorf("saturation point %.2f, want ~1/6", sat)
+	}
+}
+
+func TestRunExchangeQuick(t *testing.T) {
+	p := SmallPresets()[2] // OFT(6)
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := QuickScale()
+	ex, err := buildExchange(tp, ExA2A, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, eff, err := RunExchange(tp, AlgMIN, p.BestAdaptive, ex, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != ex.TotalPackets() {
+		t.Errorf("delivered %d of %d", res.Delivered, ex.TotalPackets())
+	}
+	if eff <= 0 || eff > 1.05 {
+		t.Errorf("effective throughput %.3f out of range", eff)
+	}
+}
+
+func TestAdaptiveSweepSmall(t *testing.T) {
+	p := SmallPresets()[1] // MLFM(6)
+	scale := QuickScale()
+	scale.Cycles = 8000
+	scale.Warmup = 1500
+	tab, err := AdaptiveSweep(p, AlgA, []int{1, 4}, nil, 4, 2, []float64{0.3, 0.9}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 nI values x 2 patterns x 2 loads = 8 rows.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tab.Rows))
+	}
+}
+
+func TestBuildAlgKinds(t *testing.T) {
+	p := SmallPresets()[0] // SF
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := QuickScale()
+	for _, kind := range []AlgKind{AlgMIN, AlgINR, AlgA, AlgATh} {
+		alg, cfg, err := buildAlg(tp, kind, p.BestAdaptive, scale)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if cfg.NumVCs < alg.NumVCs() {
+			t.Errorf("%s: config VCs %d < required %d", kind, cfg.NumVCs, alg.NumVCs())
+		}
+	}
+	if AlgMIN.String() != "MIN" || AlgATh.String() != "ATh" {
+		t.Error("AlgKind.String labels wrong")
+	}
+}
+
+func TestFig6ObliviousGenerator(t *testing.T) {
+	scale := QuickScale()
+	scale.Cycles = 6000
+	scale.Warmup = 1200
+	presets := SmallPresets()[1:2] // MLFM only, keep it fast
+	tab, err := Fig6Oblivious(presets, PatUNI, []float64{0.3, 0.8}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 preset x 2 algorithms x 2 loads.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	wc, err := Fig6Oblivious(presets, PatWC, []float64{1.0}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wc.Rows) != 2 {
+		t.Fatalf("WC rows = %d, want 2", len(wc.Rows))
+	}
+}
+
+func TestFigExchangeGenerator(t *testing.T) {
+	scale := QuickScale()
+	scale.A2APackets = 1
+	presets := SmallPresets()[1:2] // MLFM only
+	tab, err := FigExchange(presets, ExA2A, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 preset x 3 routings.
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	if tab.Rows[2][1] != "MLFM-A" {
+		t.Errorf("adaptive label = %q, want MLFM-A", tab.Rows[2][1])
+	}
+	scale.NNPackets = 2
+	nn, err := FigExchange(presets, ExNN, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn.Rows) != 3 {
+		t.Fatalf("NN rows = %d, want 3", len(nn.Rows))
+	}
+}
+
+func TestScaleConfigs(t *testing.T) {
+	for _, sc := range []Scale{QuickScale(), MediumScale(), PaperScale()} {
+		if sc.Cycles <= sc.Warmup {
+			t.Errorf("%s: cycles %d <= warmup %d", sc.Label, sc.Cycles, sc.Warmup)
+		}
+		cfg := sc.SimConfig(2)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Label, err)
+		}
+	}
+	// Paper scale must use the paper's switch parameters.
+	p := PaperScale().SimConfig(1)
+	if p.InputBufFlits != 100*1024/64 {
+		t.Errorf("paper input buffer = %d flits, want 1600", p.InputBufFlits)
+	}
+	if p.SwitchLatency != 20 || p.LinkLatency != 10 {
+		t.Errorf("paper latencies = %d/%d, want 20/10", p.SwitchLatency, p.LinkLatency)
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	p := SmallPresets()[1] // MLFM(6)
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := QuickScale()
+	scale.Cycles = 6000
+	scale.Warmup = 1200
+	rep, err := Replicate(tp, AlgMIN, p.BestAdaptive, PatUNI, 0.5, scale, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 3 {
+		t.Errorf("N = %d", rep.N)
+	}
+	if rep.MeanThroughput < 0.45 || rep.MeanThroughput > 0.55 {
+		t.Errorf("mean throughput %.3f, want ~0.5", rep.MeanThroughput)
+	}
+	// Independent seeds below saturation: tiny variance.
+	if rep.StdThroughput > 0.05 {
+		t.Errorf("std %.4f unexpectedly large", rep.StdThroughput)
+	}
+	if rep.MeanLatency <= 0 {
+		t.Error("mean latency not positive")
+	}
+	if _, err := Replicate(tp, AlgMIN, p.BestAdaptive, PatUNI, 0.5, scale, 1, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestFindSaturation(t *testing.T) {
+	p := SmallPresets()[1] // MLFM(6)
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := QuickScale()
+	scale.Cycles = 8000
+	scale.Warmup = 1600
+	// Worst-case minimal saturates at 1/h = 0.167; the search should
+	// land near it.
+	sat, err := FindSaturation(tp, AlgMIN, p.BestAdaptive, PatWC, 0.02, 1.0, 0.08, 5, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat < 0.08 || sat > 0.30 {
+		t.Errorf("WC saturation %.3f, want near 1/6", sat)
+	}
+	if _, err := FindSaturation(tp, AlgMIN, p.BestAdaptive, PatWC, 0.5, 0.4, 0.05, 3, scale); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := &Table{Title: "t", Header: []string{"a", "b"}}
+	tab.AddRow("1", "x,y")
+	tab.AddRow("2", `say "hi"`)
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"diam2/internal/plot"
+)
+
+// Table is the renderable output of an experiment generator: the rows
+// a paper figure or table plots.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Charts optionally carries the figure's curves (throughput- and
+	// latency-versus-load) for graphical rendering; generators with a
+	// natural x-axis fill it.
+	Charts []*plot.Chart
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func d(x int) string      { return fmt.Sprintf("%d", x) }
+
+// RenderCSV writes the table as RFC-4180-ish CSV (header row first).
+func (t *Table) RenderCSV(w io.Writer) error {
+	write := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+// Package metrics provides the streaming statistics used by the
+// simulator: running means, bounded histograms with percentile
+// queries, and time series for throughput/latency-vs-load curves.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean accumulates a running mean/min/max.
+type Mean struct {
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// Add records one observation.
+func (m *Mean) Add(x float64) {
+	if m.n == 0 || x < m.min {
+		m.min = x
+	}
+	if m.n == 0 || x > m.max {
+		m.max = x
+	}
+	m.n++
+	m.sum += x
+}
+
+// N returns the observation count.
+func (m *Mean) N() int64 { return m.n }
+
+// Mean returns the running mean (0 when empty).
+func (m *Mean) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Sum returns the accumulated sum.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Min returns the smallest observation (0 when empty).
+func (m *Mean) Min() float64 { return m.min }
+
+// Max returns the largest observation (0 when empty).
+func (m *Mean) Max() float64 { return m.max }
+
+// Histogram is a fixed-width bucket histogram over [0, buckets*width)
+// with an overflow bucket; it supports percentile queries with
+// bucket-granularity accuracy.
+type Histogram struct {
+	width    float64
+	counts   []int64
+	overflow int64
+	total    int64
+	mean     Mean
+}
+
+// NewHistogram creates a histogram with the given bucket width and
+// count (both must be positive).
+func NewHistogram(width float64, buckets int) *Histogram {
+	if width <= 0 || buckets <= 0 {
+		panic(fmt.Sprintf("metrics: invalid histogram shape width=%v buckets=%d", width, buckets))
+	}
+	return &Histogram{width: width, counts: make([]int64, buckets)}
+}
+
+// Add records one observation (negative values clamp to bucket 0).
+func (h *Histogram) Add(x float64) {
+	h.mean.Add(x)
+	h.total++
+	if x < 0 {
+		h.counts[0]++
+		return
+	}
+	b := int(x / h.width)
+	if b >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[b]++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.total }
+
+// Mean returns the exact running mean of all observations.
+func (h *Histogram) Mean() float64 { return h.mean.Mean() }
+
+// Max returns the exact maximum observation.
+func (h *Histogram) Max() float64 { return h.mean.Max() }
+
+// Percentile returns an upper bound for the p-th percentile
+// (0 < p <= 100) at bucket granularity; observations in the overflow
+// bucket report +Inf.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = math.SmallestNonzeroFloat64
+	}
+	want := int64(math.Ceil(p / 100 * float64(h.total)))
+	if want < 1 {
+		want = 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= want {
+			return float64(b+1) * h.width
+		}
+	}
+	return math.Inf(1)
+}
+
+// TimePoint is one sample of a time series.
+type TimePoint struct {
+	T int64
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Points []TimePoint
+}
+
+// Add appends a sample.
+func (s *Series) Add(t int64, v float64) {
+	s.Points = append(s.Points, TimePoint{T: t, V: v})
+}
+
+// MeanAfter returns the mean of samples with T >= t0 (0 when none).
+func (s *Series) MeanAfter(t0 int64) float64 {
+	var sum float64
+	var n int
+	for _, p := range s.Points {
+		if p.T >= t0 {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Quantiles computes exact quantiles of a small sample slice (it
+// sorts a copy). ps are percentiles in (0,100].
+func Quantiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, p := range ps {
+		idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		out[i] = s[idx]
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Package mols constructs Latin squares and families of Mutually
+// Orthogonal Latin Squares (MOLS), the combinatorial ingredient of the
+// Maximal Leaves Basic Building Block (ML3B) behind the two-level
+// Orthogonal Fat-Tree (Valerio et al., [22,23] in the paper).
+//
+// For a prime power order n a complete family of n-1 MOLS exists; the
+// classical construction over GF(n) is L_a(i,j) = i + a*j with a
+// ranging over the nonzero field elements. The ML3B algorithm in the
+// paper needs the k-2 MOLS of order k-1 (k-1 prime) in precisely this
+// form: square a has entry (i + a*j) mod (k-1).
+package mols
+
+import (
+	"fmt"
+
+	"diam2/internal/galois"
+)
+
+// Square is an n x n Latin square with entries in [0, n).
+type Square [][]int
+
+// Order returns n.
+func (s Square) Order() int { return len(s) }
+
+// IsLatin verifies that every row and every column is a permutation of
+// 0..n-1.
+func (s Square) IsLatin() bool {
+	n := len(s)
+	for i := 0; i < n; i++ {
+		if len(s[i]) != n {
+			return false
+		}
+		rs := make([]bool, n)
+		cs := make([]bool, n)
+		for j := 0; j < n; j++ {
+			rv := s[i][j]
+			cv := s[j][i]
+			if rv < 0 || rv >= n || rs[rv] {
+				return false
+			}
+			if cv < 0 || cv >= n || cs[cv] {
+				return false
+			}
+			rs[rv] = true
+			cs[cv] = true
+		}
+	}
+	return true
+}
+
+// Orthogonal reports whether squares a and b are orthogonal: the pairs
+// (a[i][j], b[i][j]) are all distinct.
+func Orthogonal(a, b Square) bool {
+	n := a.Order()
+	if b.Order() != n {
+		return false
+	}
+	seen := make([]bool, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			k := a[i][j]*n + b[i][j]
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+	}
+	return true
+}
+
+// Family builds the complete family of n-1 MOLS of prime-power order n
+// using GF(n): square a (a = 1..n-1, indexed 0..n-2 in the result) has
+// entry field(i + a*j). For prime n this reduces to (i + a*j) mod n,
+// matching the form the ML3B construction expects.
+func Family(n int) ([]Square, error) {
+	if !galois.IsPrimePower(n) {
+		return nil, fmt.Errorf("mols: order %d is not a prime power", n)
+	}
+	f := galois.MustNew(n)
+	out := make([]Square, 0, n-1)
+	for a := 1; a < n; a++ {
+		sq := make(Square, n)
+		for i := 0; i < n; i++ {
+			sq[i] = make([]int, n)
+			for j := 0; j < n; j++ {
+				sq[i][j] = f.Add(i, f.Mul(a, j))
+			}
+		}
+		out = append(out, sq)
+	}
+	return out, nil
+}
+
+// PrimeSquare returns the single Latin square L_a over Z_n
+// (entries (i + a*j) mod n) for prime n and 1 <= a < n.
+func PrimeSquare(n, a int) (Square, error) {
+	if !galois.IsPrime(n) {
+		return nil, fmt.Errorf("mols: order %d is not prime", n)
+	}
+	if a < 1 || a >= n {
+		return nil, fmt.Errorf("mols: multiplier %d out of range [1,%d)", a, n)
+	}
+	sq := make(Square, n)
+	for i := 0; i < n; i++ {
+		sq[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			sq[i][j] = (i + a*j) % n
+		}
+	}
+	return sq, nil
+}

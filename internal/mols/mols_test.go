@@ -1,0 +1,127 @@
+package mols
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFamilyOrders(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 7, 8, 9, 11, 13} {
+		fam, err := Family(n)
+		if err != nil {
+			t.Fatalf("Family(%d): %v", n, err)
+		}
+		if len(fam) != n-1 {
+			t.Fatalf("Family(%d) has %d squares, want %d", n, len(fam), n-1)
+		}
+		for i, sq := range fam {
+			if !sq.IsLatin() {
+				t.Fatalf("Family(%d)[%d] is not Latin", n, i)
+			}
+		}
+		for i := 0; i < len(fam); i++ {
+			for j := i + 1; j < len(fam); j++ {
+				if !Orthogonal(fam[i], fam[j]) {
+					t.Fatalf("Family(%d)[%d] and [%d] not orthogonal", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFamilyRejectsNonPrimePower(t *testing.T) {
+	for _, n := range []int{0, 1, 6, 10, 12} {
+		if _, err := Family(n); err == nil {
+			t.Errorf("Family(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestPrimeSquare(t *testing.T) {
+	sq, err := PrimeSquare(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sq.IsLatin() {
+		t.Fatal("PrimeSquare(5,2) not Latin")
+	}
+	if sq[1][1] != 3 { // (1 + 2*1) mod 5
+		t.Errorf("sq[1][1] = %d, want 3", sq[1][1])
+	}
+	if _, err := PrimeSquare(4, 1); err == nil {
+		t.Error("PrimeSquare(4,1) accepted composite/prime-power order")
+	}
+	if _, err := PrimeSquare(5, 0); err == nil {
+		t.Error("PrimeSquare(5,0) accepted zero multiplier")
+	}
+	if _, err := PrimeSquare(5, 5); err == nil {
+		t.Error("PrimeSquare(5,5) accepted out-of-range multiplier")
+	}
+}
+
+func TestPrimeSquareMatchesFamily(t *testing.T) {
+	// For prime n the GF(n) construction must coincide with the
+	// modular formula.
+	for _, n := range []int{3, 5, 7, 11} {
+		fam, err := Family(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 1; a < n; a++ {
+			sq, err := PrimeSquare(n, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if fam[a-1][i][j] != sq[i][j] {
+						t.Fatalf("n=%d a=%d mismatch at (%d,%d)", n, a, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIsLatinRejects(t *testing.T) {
+	bad := Square{{0, 1}, {0, 1}} // repeated column entries
+	if bad.IsLatin() {
+		t.Error("column-repeating square accepted")
+	}
+	ragged := Square{{0, 1}, {1}}
+	if ragged.IsLatin() {
+		t.Error("ragged square accepted")
+	}
+	outOfRange := Square{{0, 2}, {2, 0}}
+	if outOfRange.IsLatin() {
+		t.Error("out-of-range entries accepted")
+	}
+}
+
+func TestOrthogonalRejects(t *testing.T) {
+	a := Square{{0, 1}, {1, 0}}
+	if Orthogonal(a, a) {
+		t.Error("square orthogonal to itself")
+	}
+	b := Square{{0}}
+	if Orthogonal(a, b) {
+		t.Error("different orders reported orthogonal")
+	}
+}
+
+// Property: every square in a family, shifted by any row permutation
+// implied by the construction, stays Latin for random prime orders.
+func TestQuickFamilyLatin(t *testing.T) {
+	primes := []int{3, 5, 7, 11, 13}
+	prop := func(pick uint8, a uint8) bool {
+		n := primes[int(pick)%len(primes)]
+		sq, err := PrimeSquare(n, int(a)%(n-1)+1)
+		if err != nil {
+			return false
+		}
+		return sq.IsLatin()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

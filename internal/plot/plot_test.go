@@ -1,0 +1,109 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func twoSeries() *Chart {
+	c := &Chart{Title: "t", XLabel: "load", YLabel: "throughput"}
+	c.Add(Series{Label: "MIN", X: []float64{0, 0.5, 1}, Y: []float64{0, 0.5, 0.9}})
+	c.Add(Series{Label: "INR", X: []float64{0, 0.5, 1}, Y: []float64{0, 0.4, 0.5}})
+	return c
+}
+
+func TestRenderASCII(t *testing.T) {
+	var b strings.Builder
+	if err := twoSeries().RenderASCII(&b, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"t\n", "*", "o", "MIN", "INR", "load", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q", want)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 13 {
+		t.Errorf("output too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderASCIITooSmall(t *testing.T) {
+	var b strings.Builder
+	if err := twoSeries().RenderASCII(&b, 5, 2); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var b strings.Builder
+	if err := c.RenderASCII(&b, 40, 10); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	var b strings.Builder
+	if err := twoSeries().RenderSVG(&b, 400, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "circle", "MIN", "INR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG output missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	// 3 points per series.
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Errorf("circles = %d, want 6", got)
+	}
+}
+
+func TestRenderSVGEscapes(t *testing.T) {
+	c := &Chart{Title: `a<b & "c"`, XLabel: "x", YLabel: "y"}
+	c.Add(Series{Label: "s>1", X: []float64{0, 1}, Y: []float64{0, 1}})
+	var b strings.Builder
+	if err := c.RenderSVG(&b, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `a<b`) || strings.Contains(out, `s>1`) {
+		t.Error("XML-special characters not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestBoundsDegenerate(t *testing.T) {
+	// Single point and NaN/Inf filtering.
+	c := &Chart{}
+	c.Add(Series{Label: "p", X: []float64{0.5, 0.6}, Y: []float64{2, math.Inf(1)}})
+	var b strings.Builder
+	if err := c.RenderASCII(&b, 30, 8); err != nil {
+		t.Fatalf("degenerate chart failed: %v", err)
+	}
+	if err := c.RenderSVG(&b, 300, 200); err != nil {
+		t.Fatalf("degenerate SVG failed: %v", err)
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	c := &Chart{Title: "m"}
+	for i := 0; i < 10; i++ {
+		c.Add(Series{Label: string(rune('a' + i)), X: []float64{0, 1}, Y: []float64{float64(i), float64(i + 1)}})
+	}
+	var b strings.Builder
+	if err := c.RenderASCII(&b, 40, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RenderSVG(&b, 400, 300); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package routing_test
+
+import (
+	"testing"
+
+	"diam2/internal/routing"
+	"diam2/internal/sim"
+	"diam2/internal/traffic"
+)
+
+func TestPARValidation(t *testing.T) {
+	tp := mustMLFM(t, 3)
+	simCfg := sim.TestConfig(6)
+	if _, err := routing.NewPAR(tp, routing.UGALConfig{NI: 0, C: 2}, simCfg); err == nil {
+		t.Error("NI=0 accepted")
+	}
+	if _, err := routing.NewPAR(tp, routing.UGALConfig{NI: 2}, simCfg); err == nil {
+		t.Error("missing cost constant accepted")
+	}
+	if _, err := routing.NewPAR(tp, routing.UGALConfig{NI: 2, SFCost: true}, simCfg); err == nil {
+		t.Error("SF cost without CSF accepted")
+	}
+	p, err := routing.NewPAR(tp, routing.UGALConfig{NI: 2, C: 2}, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MLFM: 1 hop + worst leg from a global router to an LR (3) +
+	// minimal leg (2) = 6 VCs.
+	if p.NumVCs() != 6 {
+		t.Errorf("PAR VCs = %d, want 6", p.NumVCs())
+	}
+	// On the SF every router is an endpoint router: 1 + 2 + 2 = 5.
+	sf := mustSF(t, 5)
+	psf, err := routing.NewPAR(sf, routing.UGALConfig{NI: 2, CSF: 1, SFCost: true}, sim.TestConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psf.NumVCs() != 5 {
+		t.Errorf("SF PAR VCs = %d, want 5", psf.NumVCs())
+	}
+}
+
+// TestPARDeliversAndDiverts: PAR completes an exchange, keeps hop
+// counts within the 1 + 2*D bound, and beats minimal routing under
+// the worst case.
+func TestPARDeliversAndDiverts(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	simCfg := sim.TestConfig(6)
+	par, err := routing.NewPAR(tp, routing.UGALConfig{NI: 4, C: 2}, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := traffic.WorstCase(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := runLoad(t, tp, par, wc, 1.0, 20000)
+	if adaptive.Delivered == 0 {
+		t.Fatal("PAR delivered nothing")
+	}
+	if adaptive.AvgHops > 6 {
+		t.Errorf("PAR AvgHops %.2f exceeds the VC budget bound", adaptive.AvgHops)
+	}
+	minimal := runLoad(t, tp, routing.NewMinimal(tp), wc, 1.0, 20000)
+	if adaptive.Throughput < minimal.Throughput*1.3 {
+		t.Errorf("PAR WC throughput %.3f should beat MIN %.3f", adaptive.Throughput, minimal.Throughput)
+	}
+	// Uniform low load: still mostly minimal.
+	uni := runLoad(t, tp, par, traffic.Uniform{N: tp.Nodes()}, 0.1, 10000)
+	if uni.IndirectFrac > 0.4 {
+		t.Errorf("PAR indirect fraction %.3f at low load", uni.IndirectFrac)
+	}
+}

@@ -1,0 +1,143 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diam2/internal/sim"
+	"diam2/internal/topo"
+)
+
+// UGALConfig parameterizes the UGAL-L adaptive algorithms of
+// Section 3.3.
+type UGALConfig struct {
+	// NI is the number of randomly selected indirect candidates
+	// evaluated per packet.
+	NI int
+	// C is the constant indirect-path penalty used for the MLFM and
+	// OFT (cost = C * q_I).
+	C float64
+	// CSF, when SFCost is set, scales the Slim Fly cost
+	// c = (L_I / L_M) * CSF (cost = c * q_I), following the original
+	// UGAL formulation used by Besta and Hoefler.
+	CSF float64
+	// SFCost selects the Slim Fly length-ratio cost model.
+	SFCost bool
+	// Threshold, if positive, routes packets minimally whenever the
+	// minimal first-hop occupancy is below Threshold (a fraction of
+	// the total per-port output buffering); the *-ATh variants use
+	// T = 0.10.
+	Threshold float64
+	// OutputBufferSignalOnly restricts the congestion signal to the
+	// output-buffer occupancy, excluding the virtual-output-queue
+	// load. In an input-output-buffered switch this signal is nearly
+	// blind (the output buffer of a hot port stays near-empty);
+	// exposed for the ablation benchmark that demonstrates it.
+	OutputBufferSignalOnly bool
+}
+
+// UGAL is the local UGAL adaptive router: at injection it compares
+// the minimal path against NI random indirect paths using first-hop
+// output-buffer occupancies, then commits the packet to the winner.
+type UGAL struct {
+	*base
+	cfg     UGALConfig
+	portBuf int // total output buffering per port, flits (threshold base)
+	variant string
+}
+
+// NewUGAL builds a UGAL-L adaptive algorithm for a topology. The
+// variant name follows the paper: SF-A/SF-ATh when cfg.SFCost is set,
+// MLFM-A/OFT-A/... otherwise (the topology name is used).
+func NewUGAL(t topo.Topology, cfg UGALConfig, simCfg sim.Config) (*UGAL, error) {
+	if cfg.NI < 1 {
+		return nil, fmt.Errorf("routing: UGAL requires NI >= 1, got %d", cfg.NI)
+	}
+	if cfg.SFCost && cfg.CSF <= 0 {
+		return nil, fmt.Errorf("routing: SF cost model requires CSF > 0")
+	}
+	if !cfg.SFCost && cfg.C <= 0 {
+		return nil, fmt.Errorf("routing: constant cost model requires C > 0")
+	}
+	u := &UGAL{
+		base:    newBase(t, PolicyFor(t), true),
+		cfg:     cfg,
+		portBuf: simCfg.OutputBufFlits * simCfg.NumVCs,
+	}
+	suffix := "A"
+	if cfg.Threshold > 0 {
+		suffix = "ATh"
+	}
+	u.variant = fmt.Sprintf("UGAL-%s(nI=%d)", suffix, cfg.NI)
+	return u, nil
+}
+
+// Name implements sim.RoutingAlgorithm.
+func (u *UGAL) Name() string { return u.variant }
+
+// NumVCs implements sim.RoutingAlgorithm.
+func (u *UGAL) NumVCs() int { return u.numVCs() }
+
+// occupancy returns the congestion signal for the least-loaded
+// minimal first-hop port toward tgt, honoring the signal ablation.
+func (u *UGAL) occupancy(r *sim.Router, tgt int) int {
+	if !u.cfg.OutputBufferSignalOnly {
+		occ, _ := u.firstHopOccupancy(r, tgt)
+		return occ
+	}
+	want := u.dist[r.ID][tgt] - 1
+	occ := -1
+	for pt := 0; pt < r.NetPorts(); pt++ {
+		if u.dist[r.NeighborAt(pt)][tgt] != want {
+			continue
+		}
+		if o := r.OutBufferOccupancy(pt); occ < 0 || o < occ {
+			occ = o
+		}
+	}
+	return occ
+}
+
+// Inject implements sim.RoutingAlgorithm: the adaptive decision.
+func (u *UGAL) Inject(p *sim.Packet, r *sim.Router, rng *rand.Rand) int {
+	p.Minimal = true
+	p.PhaseTwo = false
+	p.Intermediate = -1
+
+	qM := u.occupancy(r, p.DstRouter)
+	// Threshold variant: an uncongested minimal port short-circuits
+	// the adaptive comparison.
+	if u.cfg.Threshold > 0 && float64(qM) < u.cfg.Threshold*float64(u.portBuf) {
+		return 0
+	}
+
+	lM := u.dist[r.ID][p.DstRouter]
+	bestCost := float64(qM)
+	bestRi := -1
+	for j := 0; j < u.cfg.NI; j++ {
+		ri := u.pickIntermediate(p, rng)
+		qI := u.occupancy(r, ri)
+		var c float64
+		if u.cfg.SFCost {
+			lI := u.dist[r.ID][ri] + u.dist[ri][p.DstRouter]
+			c = float64(lI) / float64(lM) * u.cfg.CSF
+		} else {
+			c = u.cfg.C
+		}
+		cost := c * float64(qI)
+		if cost < bestCost {
+			bestCost = cost
+			bestRi = ri
+		}
+	}
+	if bestRi >= 0 {
+		p.Minimal = false
+		p.Intermediate = bestRi
+	}
+	return 0
+}
+
+// NextHop implements sim.RoutingAlgorithm.
+func (u *UGAL) NextHop(p *sim.Packet, r *sim.Router, rng *rand.Rand) (int, int) {
+	return u.nextHop(p, r, rng)
+}

@@ -1,0 +1,98 @@
+package routing
+
+import (
+	"math/rand"
+
+	"diam2/internal/sim"
+	"diam2/internal/topo"
+)
+
+// UGALGlobal is the global variant of UGAL the paper mentions and
+// dismisses as impractical ("requires knowledge of the buffers' state
+// for the whole topology at the point of injection"). It is provided
+// as an idealized upper bound for ablations: path costs sum the
+// output-port occupancies of every router along the candidate path,
+// not just the first hop.
+type UGALGlobal struct {
+	*base
+	cfg UGALConfig
+}
+
+// NewUGALGlobal builds the global-knowledge UGAL ablation.
+func NewUGALGlobal(t topo.Topology, cfg UGALConfig) (*UGALGlobal, error) {
+	if cfg.NI < 1 {
+		cfg.NI = 1
+	}
+	if cfg.C <= 0 && !cfg.SFCost {
+		cfg.C = 1
+	}
+	if cfg.SFCost && cfg.CSF <= 0 {
+		cfg.CSF = 1
+	}
+	return &UGALGlobal{base: newBase(t, PolicyFor(t), true), cfg: cfg}, nil
+}
+
+// Name implements sim.RoutingAlgorithm.
+func (u *UGALGlobal) Name() string { return "UGAL-G" }
+
+// NumVCs implements sim.RoutingAlgorithm.
+func (u *UGALGlobal) NumVCs() int { return u.numVCs() }
+
+// pathCost walks a minimal path from cur to tgt, greedily choosing
+// the least-occupied next hop at every router (with global state
+// access), and returns the accumulated occupancy.
+func (u *UGALGlobal) pathCost(net *sim.Network, cur, tgt int) float64 {
+	cost := 0.0
+	for cur != tgt {
+		r := net.Routers[cur]
+		want := u.dist[cur][tgt] - 1
+		bestPort, bestOcc := -1, 0
+		for port := 0; port < r.NetPorts(); port++ {
+			if u.dist[r.NeighborAt(port)][tgt] != want {
+				continue
+			}
+			if occ := r.OutOccupancy(port); bestPort < 0 || occ < bestOcc {
+				bestPort, bestOcc = port, occ
+			}
+		}
+		cost += float64(bestOcc)
+		cur = r.NeighborAt(bestPort)
+	}
+	return cost
+}
+
+// Inject implements sim.RoutingAlgorithm: the global adaptive choice.
+func (u *UGALGlobal) Inject(p *sim.Packet, r *sim.Router, rng *rand.Rand) int {
+	p.Minimal = true
+	p.PhaseTwo = false
+	p.Intermediate = -1
+	net := r.Network()
+	lM := u.dist[r.ID][p.DstRouter]
+	best := u.pathCost(net, r.ID, p.DstRouter)
+	bestRi := -1
+	for j := 0; j < u.cfg.NI; j++ {
+		ri := u.pickIntermediate(p, rng)
+		qI := u.pathCost(net, r.ID, ri) + u.pathCost(net, ri, p.DstRouter)
+		var c float64
+		if u.cfg.SFCost {
+			lI := u.dist[r.ID][ri] + u.dist[ri][p.DstRouter]
+			c = float64(lI) / float64(lM) * u.cfg.CSF
+		} else {
+			c = u.cfg.C
+		}
+		if cost := c * qI; cost < best {
+			best = cost
+			bestRi = ri
+		}
+	}
+	if bestRi >= 0 {
+		p.Minimal = false
+		p.Intermediate = bestRi
+	}
+	return 0
+}
+
+// NextHop implements sim.RoutingAlgorithm.
+func (u *UGALGlobal) NextHop(p *sim.Packet, r *sim.Router, rng *rand.Rand) (int, int) {
+	return u.nextHop(p, r, rng)
+}

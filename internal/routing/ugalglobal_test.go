@@ -1,0 +1,70 @@
+package routing_test
+
+import (
+	"testing"
+
+	"diam2/internal/routing"
+	"diam2/internal/sim"
+	"diam2/internal/traffic"
+)
+
+func TestUGALGlobalBasics(t *testing.T) {
+	tp := mustMLFM(t, 3)
+	g, err := routing.NewUGALGlobal(tp, routing.UGALConfig{NI: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "UGAL-G" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if g.NumVCs() != 2 {
+		t.Errorf("NumVCs = %d, want 2 (indirect-capable SSPT)", g.NumVCs())
+	}
+	// Zero-valued cost constants default sanely.
+	if _, err := routing.NewUGALGlobal(tp, routing.UGALConfig{}); err != nil {
+		t.Errorf("defaulted config rejected: %v", err)
+	}
+}
+
+// TestUGALGlobalRunsAndAdapts: UGAL-G delivers traffic and routes
+// indirect under the worst case, at least matching local UGAL.
+func TestUGALGlobalRunsAndAdapts(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	wc, err := traffic.WorstCase(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := routing.NewUGALGlobal(tp, routing.UGALConfig{NI: 4, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := runLoad(t, tp, g, wc, 1.0, 16000)
+	if global.Delivered == 0 {
+		t.Fatal("UGAL-G delivered nothing")
+	}
+	if global.IndirectFrac < 0.5 {
+		t.Errorf("UGAL-G indirect fraction %.3f under WC, want > 0.5", global.IndirectFrac)
+	}
+	simCfg := sim.TestConfig(2)
+	local, err := routing.NewUGAL(tp, routing.UGALConfig{NI: 4, C: 2}, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres := runLoad(t, tp, local, wc, 1.0, 16000)
+	if global.Throughput < lres.Throughput*0.9 {
+		t.Errorf("UGAL-G throughput %.3f clearly below UGAL-L %.3f", global.Throughput, lres.Throughput)
+	}
+}
+
+// TestUGALGlobalUniformLowLoad: mostly minimal when uncongested.
+func TestUGALGlobalUniformLowLoad(t *testing.T) {
+	tp := mustOFT(t, 3)
+	g, err := routing.NewUGALGlobal(tp, routing.UGALConfig{NI: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runLoad(t, tp, g, traffic.Uniform{N: tp.Nodes()}, 0.1, 8000)
+	if res.IndirectFrac > 0.35 {
+		t.Errorf("UGAL-G indirect fraction %.3f at low load", res.IndirectFrac)
+	}
+}

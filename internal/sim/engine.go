@@ -1,0 +1,450 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diam2/internal/metrics"
+)
+
+// RoutingAlgorithm chooses ports and virtual channels. Implementations
+// live in the routing package; the engine calls Inject once per packet
+// at its source router and NextHop at every router on the path (the
+// engine ejects packets that have reached their destination router
+// itself, without consulting the algorithm).
+type RoutingAlgorithm interface {
+	Name() string
+	// NumVCs returns the number of virtual channels the algorithm's
+	// deadlock-avoidance scheme requires.
+	NumVCs() int
+	// Inject decides the packet's route (minimal vs indirect,
+	// intermediate router) using the source router's state, and
+	// returns the VC for the node-to-router link.
+	Inject(p *Packet, r *Router, rng *rand.Rand) int
+	// NextHop returns the output port and the VC to use on the
+	// outgoing link at router r. It may update the packet's routing
+	// state (e.g. mark the intermediate as reached).
+	NextHop(p *Packet, r *Router, rng *rand.Rand) (port, vc int)
+}
+
+// DeliveryObserver is an optional interface a Workload may implement
+// to learn of packet deliveries — the hook dependency-driven
+// workloads (collective operations) use to gate later communication
+// steps on earlier ones having arrived.
+type DeliveryObserver interface {
+	OnDeliver(p *Packet, now int64)
+}
+
+// Workload drives injection. The engine polls NextPacket once per
+// cycle per node while that node's source queue has room.
+type Workload interface {
+	Name() string
+	// NextPacket returns the destination for a new packet from node
+	// src at cycle now, or ok == false to inject nothing this cycle.
+	NextPacket(src int, now int64, rng *rand.Rand) (dst int, ok bool)
+	// Done reports that the workload will never inject again
+	// (closed-loop exchanges); open-loop generators return false.
+	Done() bool
+}
+
+// event kinds processed from the delay ring.
+type eventKind uint8
+
+const (
+	evCredit     eventKind = iota // credits return to a router output port
+	evNodeCredit                  // credits return to a node's terminal link
+	evOutRelease                  // output buffer occupancy release
+	evDeliver                     // packet tail reached its destination node
+)
+
+type event struct {
+	kind   eventKind
+	router int
+	port   int
+	vc     int
+	amount int
+	node   int
+	pkt    *Packet
+}
+
+// Engine is the cycle-driven simulator.
+type Engine struct {
+	Net  *Network
+	Alg  RoutingAlgorithm
+	Work Workload
+	Cfg  Config
+
+	Warmup int64 // cycle at which measurement starts
+
+	now     int64
+	rng     *rand.Rand
+	ring    [][]event
+	ringLen int64
+
+	pktFlits int
+	nextID   int64
+
+	// Counters.
+	generated int64
+	injected  int64
+	delivered int64
+
+	deliveredFlitsWindow int64 // delivered during the measurement window
+	injectedFlitsWindow  int64
+
+	latGen    *metrics.Histogram // generation -> delivery, cycles
+	latNet    *metrics.Histogram // injection -> delivery, cycles
+	hops      metrics.Mean
+	indirectN int64 // packets routed non-minimally
+
+	lastDeliver int64 // cycle of the most recent delivery
+
+	linkStats LinkStats
+
+	observer     DeliveryObserver // optional delivery hook of the workload
+	recorder     *RouteRecorder   // optional per-packet route capture
+	perNodeFlits []int64          // optional per-destination accounting
+
+	// Throughput time-series sampling (see timeseries.go).
+	sampleInterval      int64
+	sampleCount         int64
+	deliveredFlitsTotal int64
+	lastSampleFlits     int64
+	thrSeries           metrics.Series
+}
+
+// NewEngine wires a network, routing algorithm and workload together.
+// cfg.NumVCs must cover alg.NumVCs().
+func NewEngine(net *Network, alg RoutingAlgorithm, work Workload) (*Engine, error) {
+	cfg := net.Cfg
+	if alg.NumVCs() > cfg.NumVCs {
+		return nil, fmt.Errorf("sim: algorithm %s needs %d VCs, config has %d", alg.Name(), alg.NumVCs(), cfg.NumVCs)
+	}
+	e := &Engine{
+		Net:      net,
+		Alg:      alg,
+		Work:     work,
+		Cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		pktFlits: cfg.PacketFlits(),
+	}
+	e.ringLen = int64(cfg.PacketFlits() + cfg.LinkLatency + cfg.SwitchLatency + 2)
+	e.ring = make([][]event, e.ringLen)
+	e.observer, _ = work.(DeliveryObserver)
+	// Latency histograms in cycles: bucket width scales with the
+	// network latency so percentiles stay meaningful at any scale.
+	w := float64(cfg.SwitchLatency + cfg.LinkLatency)
+	e.latGen = metrics.NewHistogram(w, 4096)
+	e.latNet = metrics.NewHistogram(w, 4096)
+	return e, nil
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+func (e *Engine) schedule(delay int64, ev event) {
+	t := (e.now + delay) % e.ringLen
+	e.ring[t] = append(e.ring[t], ev)
+}
+
+// Step advances the simulation by one cycle.
+func (e *Engine) Step() {
+	e.processEvents()
+	e.linkStage()
+	e.switchStage()
+	e.injectStage()
+	e.sampleTick()
+	e.now++
+}
+
+// Run advances the simulation by n cycles.
+func (e *Engine) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntilDrained steps until the workload is done and every injected
+// packet has been delivered, or maxCycles elapse. It returns true if
+// the network drained.
+func (e *Engine) RunUntilDrained(maxCycles int64) bool {
+	for e.now < maxCycles {
+		if e.Work.Done() && e.delivered == e.injected && e.sourceQueuesEmpty() {
+			return true
+		}
+		e.Step()
+	}
+	return e.Work.Done() && e.delivered == e.injected && e.sourceQueuesEmpty()
+}
+
+func (e *Engine) sourceQueuesEmpty() bool {
+	for _, nd := range e.Net.Nodes {
+		if !nd.srcQ.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) processEvents() {
+	slot := e.now % e.ringLen
+	evs := e.ring[slot]
+	e.ring[slot] = evs[:0]
+	for _, ev := range evs {
+		switch ev.kind {
+		case evCredit:
+			r := e.Net.Routers[ev.router]
+			r.credits[r.idx(ev.port, ev.vc)] += ev.amount
+		case evNodeCredit:
+			e.Net.Nodes[ev.node].credits[ev.vc] += ev.amount
+		case evOutRelease:
+			r := e.Net.Routers[ev.router]
+			r.outOcc[r.idx(ev.port, ev.vc)] -= ev.amount
+		case evDeliver:
+			e.deliver(ev.pkt)
+		}
+	}
+}
+
+// Stalled reports whether packets are in flight but none has been
+// delivered for at least window cycles — the signature of a routing
+// deadlock (e.g. indirect routing on too few VCs) or a disconnected
+// route. Healthy saturated networks keep delivering.
+func (e *Engine) Stalled(window int64) bool {
+	return e.injected > e.delivered && e.now-e.lastDeliver > window
+}
+
+func (e *Engine) deliver(p *Packet) {
+	p.DeliverTime = e.now
+	e.delivered++
+	e.lastDeliver = e.now
+	e.deliveredFlitsTotal += int64(p.Flits)
+	if e.now >= e.Warmup {
+		e.deliveredFlitsWindow += int64(p.Flits)
+		if e.perNodeFlits != nil {
+			e.perNodeFlits[p.Dst] += int64(p.Flits)
+		}
+	}
+	if e.observer != nil {
+		e.observer.OnDeliver(p, e.now)
+	}
+	if e.recorder != nil {
+		e.recorder.recordDeliver(p)
+	}
+	if p.GenTime >= e.Warmup {
+		e.latGen.Add(float64(p.DeliverTime - p.GenTime))
+		e.latNet.Add(float64(p.DeliverTime - p.InjectTime))
+		e.hops.Add(float64(p.Hops))
+		if !p.Minimal {
+			e.indirectN++
+		}
+	}
+}
+
+// linkStage moves packets from output buffers onto links: downstream
+// input buffers for network ports, destination nodes for terminal
+// ports.
+func (e *Engine) linkStage() {
+	flits := int64(e.pktFlits)
+	linkLat := int64(e.Cfg.LinkLatency)
+	for _, r := range e.Net.Routers {
+		if r.outCount == 0 {
+			continue
+		}
+		for port := 0; port < r.nPorts; port++ {
+			if r.linkFree[port] > e.now {
+				continue
+			}
+			nv := e.Cfg.NumVCs
+			for i := 0; i < nv; i++ {
+				vc := (r.rrOut[port] + i) % nv
+				q := &r.outQ[r.idx(port, vc)]
+				if q.empty() {
+					continue
+				}
+				head := q.front()
+				if head.ready > e.now {
+					continue
+				}
+				if !r.isTerminal(port) {
+					// Virtual cut-through: need room downstream for the
+					// whole packet.
+					if r.credits[r.idx(port, vc)] < e.pktFlits {
+						continue
+					}
+					r.credits[r.idx(port, vc)] -= e.pktFlits
+					ent := q.pop()
+					r.outCount--
+					ent.pkt.Hops++
+					next := e.Net.Routers[r.neighbor[port]]
+					inPort := next.portOf[r.ID]
+					next.inQ[next.idx(inPort, vc)].push(entry{
+						pkt:     ent.pkt,
+						ready:   e.now + linkLat,
+						outPort: -1,
+					})
+					next.inCount++
+					e.recordLink(r.ID, next.ID, e.pktFlits)
+					if e.recorder != nil {
+						e.recorder.recordHop(ent.pkt, next.ID, ent.pkt.VC)
+					}
+				} else {
+					ent := q.pop()
+					r.outCount--
+					e.schedule(flits+linkLat, event{kind: evDeliver, pkt: ent.pkt})
+				}
+				r.linkFree[port] = e.now + flits
+				e.schedule(flits, event{kind: evOutRelease, router: r.ID, port: port, vc: vc, amount: e.pktFlits})
+				r.rrOut[port] = (vc + 1) % nv
+				break
+			}
+		}
+	}
+}
+
+// switchStage performs switch allocation: head packets in input
+// buffers are routed and, when the crossbar and output buffer allow,
+// streamed to the chosen output buffer.
+func (e *Engine) switchStage() {
+	flits := int64(e.pktFlits)
+	// Internal crossbar transfers run Speedup times faster than the
+	// links, so a packet occupies its input port and crossbar output
+	// for fewer cycles (classic input-output-buffered speedup).
+	xfer := (flits + int64(e.Cfg.Speedup) - 1) / int64(e.Cfg.Speedup)
+	swLat := int64(e.Cfg.SwitchLatency)
+	linkLat := int64(e.Cfg.LinkLatency)
+	nv := e.Cfg.NumVCs
+	for _, r := range e.Net.Routers {
+		if r.inCount == 0 {
+			continue
+		}
+		granted := false
+		for pi := 0; pi < r.nPorts; pi++ {
+			port := (r.rrIn + pi) % r.nPorts
+			if r.inPortFree[port] > e.now {
+				continue
+			}
+			for vi := 0; vi < nv; vi++ {
+				vc := (r.rrVC[port] + vi) % nv
+				q := &r.inQ[r.idx(port, vc)]
+				// Windowed allocation: scan past a blocked head so a
+				// packet bound for a free output is not stuck behind
+				// one bound for a busy output (the head-of-line
+				// bypass an input-output-buffered switch with VOQs
+				// provides; window size bounds the lookahead).
+				// Per-flow order is preserved: packets of one flow
+				// share an output port and are granted in order.
+				pick := -1
+				win := e.Cfg.AllocWindow
+				if win > q.len() {
+					win = q.len()
+				}
+				for i := 0; i < win; i++ {
+					cand := q.at(i)
+					if cand.ready > e.now {
+						break // later entries arrived even later
+					}
+					if cand.outPort < 0 {
+						p := cand.pkt
+						if p.DstRouter == r.ID {
+							cand.outPort = e.Net.terminalPortFor(p.Dst)
+							cand.outVC = p.VC
+						} else {
+							cand.outPort, cand.outVC = e.Alg.NextHop(p, r, e.rng)
+						}
+						r.pendingOut[cand.outPort] += p.Flits
+					}
+					if r.outAccept[cand.outPort] > e.now {
+						continue
+					}
+					if r.outOcc[r.idx(cand.outPort, cand.outVC)]+e.pktFlits > e.Cfg.OutputBufFlits {
+						continue
+					}
+					pick = i
+					break
+				}
+				if pick < 0 {
+					continue
+				}
+				// Grant.
+				ent := q.removeAt(pick)
+				r.inCount--
+				r.outCount++
+				op, ov := ent.outPort, ent.outVC
+				r.pendingOut[op] -= ent.pkt.Flits
+				ent.pkt.VC = ov
+				r.outOcc[r.idx(op, ov)] += e.pktFlits
+				r.outAccept[op] = e.now + xfer
+				r.inPortFree[port] = e.now + xfer
+				r.outQ[r.idx(op, ov)].push(entry{pkt: ent.pkt, ready: e.now + swLat})
+				// Return credits upstream once the tail leaves this
+				// input buffer (after flits cycles) plus the credit
+				// propagation delay.
+				if r.isTerminal(port) {
+					node := r.nodeAt[port-r.netPorts]
+					e.schedule(xfer+linkLat, event{kind: evNodeCredit, node: node, vc: vc, amount: e.pktFlits})
+				} else {
+					up := e.Net.Routers[r.neighbor[port]]
+					upPort := up.portOf[r.ID]
+					e.schedule(xfer+linkLat, event{kind: evCredit, router: up.ID, port: upPort, vc: vc, amount: e.pktFlits})
+				}
+				r.rrVC[port] = (vc + 1) % nv
+				granted = true
+				break
+			}
+		}
+		if granted {
+			r.rrIn = (r.rrIn + 1) % r.nPorts
+		}
+	}
+}
+
+// injectStage generates new packets (bounded by the source queue) and
+// pushes queued packets onto terminal links when credits allow.
+func (e *Engine) injectStage() {
+	flits := int64(e.pktFlits)
+	linkLat := int64(e.Cfg.LinkLatency)
+	for _, nd := range e.Net.Nodes {
+		if nd.srcQ.len() < e.Cfg.SourceQueueCap {
+			if dst, ok := e.Work.NextPacket(nd.ID, e.now, e.rng); ok {
+				p := &Packet{
+					ID:           e.nextID,
+					Src:          nd.ID,
+					Dst:          dst,
+					SrcRouter:    nd.Router,
+					DstRouter:    e.Net.Topo.NodeRouter(dst),
+					Flits:        e.pktFlits,
+					GenTime:      e.now,
+					Intermediate: -1,
+				}
+				e.nextID++
+				e.generated++
+				nd.srcQ.push(entry{pkt: p})
+			}
+		}
+		if nd.srcQ.empty() || nd.linkFree > e.now {
+			continue
+		}
+		p := nd.srcQ.front().pkt
+		r := e.Net.Routers[nd.Router]
+		vc := e.Alg.Inject(p, r, e.rng)
+		if nd.credits[vc] < e.pktFlits {
+			continue
+		}
+		nd.credits[vc] -= e.pktFlits
+		nd.srcQ.pop()
+		p.InjectTime = e.now
+		p.VC = vc
+		e.injected++
+		if e.recorder != nil {
+			e.recorder.recordInject(p)
+		}
+		if e.now >= e.Warmup {
+			e.injectedFlitsWindow += int64(p.Flits)
+		}
+		nd.linkFree = e.now + flits
+		inPort := e.Net.nodeRouterPort[p.Src]
+		r.inQ[r.idx(inPort, vc)].push(entry{pkt: p, ready: e.now + linkLat, outPort: -1})
+		r.inCount++
+	}
+}

@@ -1,0 +1,580 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"diam2/internal/graph"
+	"diam2/internal/routing"
+	"diam2/internal/sim"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+)
+
+// buildEngine wires a topology, algorithm factory and workload with a
+// test-sized config.
+func buildEngine(t *testing.T, tp topo.Topology, alg sim.RoutingAlgorithm, w sim.Workload) *sim.Engine {
+	t.Helper()
+	cfg := sim.TestConfig(alg.NumVCs())
+	net, err := sim.NewNetwork(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(net, alg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := sim.DefaultConfig(2).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := sim.DefaultConfig(2)
+	bad.InputBufFlits = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("undersized buffer accepted")
+	}
+	bad = sim.DefaultConfig(2)
+	bad.NumVCs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero VCs accepted")
+	}
+	if got := sim.DefaultConfig(2).PacketFlits(); got != 4 {
+		t.Errorf("PacketFlits = %d, want 4", got)
+	}
+}
+
+func TestConfigTimeConversion(t *testing.T) {
+	cfg := sim.DefaultConfig(2)
+	// One cycle = 64B * 8 / 100Gbps = 5.12 ns.
+	if got := cfg.LatencySeconds(1); got < 5.11e-9 || got > 5.13e-9 {
+		t.Errorf("cycle duration = %v", got)
+	}
+	// 200 us should be ~39062 cycles.
+	if got := cfg.CyclesForDuration(200e-6); got < 39000 || got > 39100 {
+		t.Errorf("CyclesForDuration(200us) = %d", got)
+	}
+}
+
+func TestVCMismatchRejected(t *testing.T) {
+	tp, _ := topo.NewMLFM(3)
+	alg := routing.NewValiant(tp) // needs 2 VCs
+	cfg := sim.TestConfig(1)
+	net, err := sim.NewNetwork(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.NewEngine(net, alg, &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.1, PacketFlits: 4}); err == nil {
+		t.Error("engine accepted algorithm needing more VCs than configured")
+	}
+}
+
+// TestExchangeDrainsAndConserves runs a full all-to-all on a small
+// MLFM and checks conservation: every generated packet is injected
+// and delivered exactly once.
+func TestExchangeDrainsAndConserves(t *testing.T) {
+	tp, err := topo.NewMLFM(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := traffic.AllToAll(tp.Nodes(), 2, nil)
+	e := buildEngine(t, tp, routing.NewMinimal(tp), ex)
+	if !e.RunUntilDrained(4_000_000) {
+		t.Fatalf("exchange did not drain: %+v", e.Results())
+	}
+	res := e.Results()
+	want := ex.TotalPackets()
+	if res.Generated != want || res.Injected != want || res.Delivered != want {
+		t.Errorf("conservation violated: gen=%d inj=%d del=%d want=%d",
+			res.Generated, res.Injected, res.Delivered, want)
+	}
+	if res.AvgHops < 1 || res.AvgHops > 2 {
+		t.Errorf("AvgHops = %v, want within (1,2] for diameter-2 minimal", res.AvgHops)
+	}
+	if res.AvgLatency <= 0 {
+		t.Error("AvgLatency not positive")
+	}
+}
+
+// TestMinimalHopsBound: minimal routing on a diameter-two topology
+// never exceeds 2 hops.
+func TestMinimalHopsBound(t *testing.T) {
+	for _, tp := range []topo.Topology{
+		mustMLFM(t, 3), mustOFT(t, 3), mustSF(t, 5),
+	} {
+		ex := traffic.AllToAll(tp.Nodes(), 1, nil)
+		e := buildEngine(t, tp, routing.NewMinimal(tp), ex)
+		if !e.RunUntilDrained(4_000_000) {
+			t.Fatalf("%s: did not drain", tp.Name())
+		}
+		res := e.Results()
+		if res.AvgHops > 2 {
+			t.Errorf("%s: AvgHops = %v > 2", tp.Name(), res.AvgHops)
+		}
+		if res.IndirectFrac != 0 {
+			t.Errorf("%s: minimal routing reported %v indirect", tp.Name(), res.IndirectFrac)
+		}
+	}
+}
+
+// TestValiantHopsBound: INR paths are at most 4 hops on the SSPTs and
+// every packet is marked indirect.
+func TestValiantHopsBound(t *testing.T) {
+	for _, tp := range []topo.Topology{mustMLFM(t, 3), mustOFT(t, 3), mustSF(t, 5)} {
+		ex := traffic.AllToAll(tp.Nodes(), 1, nil)
+		alg := routing.NewValiant(tp)
+		e := buildEngine(t, tp, alg, ex)
+		if !e.RunUntilDrained(8_000_000) {
+			t.Fatalf("%s: did not drain", tp.Name())
+		}
+		res := e.Results()
+		if res.AvgHops > 4 {
+			t.Errorf("%s: AvgHops = %v > 4", tp.Name(), res.AvgHops)
+		}
+		if res.IndirectFrac != 1 {
+			t.Errorf("%s: INR IndirectFrac = %v, want 1", tp.Name(), res.IndirectFrac)
+		}
+	}
+}
+
+func mustMLFM(t *testing.T, h int) *topo.MLFM {
+	t.Helper()
+	tp, err := topo.NewMLFM(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func mustOFT(t *testing.T, k int) *topo.OFT {
+	t.Helper()
+	tp, err := topo.NewOFT(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func mustSF(t *testing.T, q int) *topo.SlimFly {
+	t.Helper()
+	tp, err := topo.NewSlimFly(q, topo.RoundDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+// TestUniformThroughputTracksLoad: below saturation, delivered
+// throughput matches offered load for minimal routing on uniform
+// traffic.
+func TestUniformThroughputTracksLoad(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	load := 0.5
+	w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: load, PacketFlits: 4}
+	e := buildEngine(t, tp, routing.NewMinimal(tp), w)
+	e.Warmup = 2000
+	e.Run(12000)
+	res := e.Results()
+	if res.Throughput < load*0.9 || res.Throughput > load*1.1 {
+		t.Errorf("throughput %.3f, want ~%.2f", res.Throughput, load)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestWorstCaseSaturation: under the MLFM adversarial shift at full
+// offered load, minimal routing saturates near 1/h (Section 4.2).
+func TestWorstCaseSaturation(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	wc, err := traffic.WorstCase(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &traffic.OpenLoop{Pattern: wc, Load: 1.0, PacketFlits: 4}
+	e := buildEngine(t, tp, routing.NewMinimal(tp), w)
+	e.Warmup = 4000
+	e.Run(24000)
+	res := e.Results()
+	want := 1.0 / 4 // 1/h
+	if res.Throughput < want*0.7 || res.Throughput > want*1.3 {
+		t.Errorf("WC throughput %.3f, want ~%.3f", res.Throughput, want)
+	}
+}
+
+// TestValiantRescuesWorstCase: INR roughly doubles worst-case
+// throughput relative to minimal (up to ~0.5 of uniform capacity).
+func TestValiantRescuesWorstCase(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	wc, err := traffic.WorstCase(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(alg sim.RoutingAlgorithm) float64 {
+		w := &traffic.OpenLoop{Pattern: wc, Load: 1.0, PacketFlits: 4}
+		e := buildEngine(t, tp, alg, w)
+		e.Warmup = 4000
+		e.Run(24000)
+		return e.Results().Throughput
+	}
+	min := run(routing.NewMinimal(tp))
+	inr := run(routing.NewValiant(tp))
+	if inr < min*1.3 {
+		t.Errorf("INR (%.3f) should clearly beat MIN (%.3f) on worst-case traffic", inr, min)
+	}
+}
+
+// TestDeterminism: identical seeds give identical results.
+func TestDeterminism(t *testing.T) {
+	tp := mustOFT(t, 3)
+	run := func() sim.Results {
+		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.4, PacketFlits: 4}
+		e := buildEngine(t, tp, routing.NewValiant(tp), w)
+		e.Warmup = 1000
+		e.Run(6000)
+		return e.Results()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestLatencyComponents: network latency excludes source queueing and
+// is at least the physical minimum (two link + one switch traversal).
+func TestLatencyComponents(t *testing.T) {
+	tp := mustMLFM(t, 3)
+	w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.05, PacketFlits: 4}
+	e := buildEngine(t, tp, routing.NewMinimal(tp), w)
+	e.Warmup = 500
+	e.Run(8000)
+	res := e.Results()
+	cfg := sim.TestConfig(1)
+	// Minimal physical latency: terminal link + switch + link +
+	// switch + link + serialization.
+	minLat := float64(3*cfg.LinkLatency + 2*cfg.SwitchLatency + cfg.PacketFlits())
+	if res.AvgNetLatency < minLat {
+		t.Errorf("AvgNetLatency %.1f below physical minimum %.1f", res.AvgNetLatency, minLat)
+	}
+	if res.AvgLatency < res.AvgNetLatency {
+		t.Errorf("gen latency %.1f < net latency %.1f", res.AvgLatency, res.AvgNetLatency)
+	}
+}
+
+// TestTraceWorkloadEndToEnd: a phase trace replays through the
+// simulator, respecting release times, and drains completely.
+func TestTraceWorkloadEndToEnd(t *testing.T) {
+	tp := mustMLFM(t, 3)
+	recs := traffic.SyntheticPhaseTrace(tp.Nodes(), 3, 2, 2000)
+	tr, err := traffic.NewTrace("phases", tp.Nodes(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := buildEngine(t, tp, routing.NewMinimal(tp), tr)
+	if !e.RunUntilDrained(2_000_000) {
+		t.Fatal("trace did not drain")
+	}
+	res := e.Results()
+	if res.Delivered != tr.TotalPackets() {
+		t.Errorf("delivered %d of %d", res.Delivered, tr.TotalPackets())
+	}
+	// The last phase releases at cycle 4000; completion must be later.
+	if res.Cycles < 4000 {
+		t.Errorf("completed at %d, before the last phase released", res.Cycles)
+	}
+}
+
+// TestThroughputSampling: the sampled series tracks the delivered
+// load over time and shows the warm-up ramp.
+func TestThroughputSampling(t *testing.T) {
+	tp := mustMLFM(t, 3)
+	w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.5, PacketFlits: 4}
+	e := buildEngine(t, tp, routing.NewMinimal(tp), w)
+	e.EnableThroughputSampling(1000)
+	e.Run(10000)
+	s := e.ThroughputSeries()
+	if len(s.Points) != 10 {
+		t.Fatalf("samples = %d, want 10", len(s.Points))
+	}
+	// First window includes the fill-up ramp; steady-state windows
+	// should deliver ~0.5.
+	if got := s.MeanAfter(3000); got < 0.4 || got > 0.6 {
+		t.Errorf("steady-state sampled throughput %.3f, want ~0.5", got)
+	}
+	if s.Points[0].V > s.MeanAfter(3000) {
+		t.Error("first window should be below steady state (ramp-up)")
+	}
+}
+
+// TestMappingMatters: the MLFM's aligned-torus nearest-neighbor
+// advantage comes from placement — under a random process-to-node
+// mapping the same exchange loses locality (X exchanges leave the
+// router) and completes slower.
+func TestMappingMatters(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	tor := traffic.Torus3D{X: 4, Y: 5, Z: 4} // aligned (p, h+1, h)
+	run := func(m *traffic.Mapping) int64 {
+		ex, err := traffic.NearestNeighbor(tor, tp.Nodes(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := buildEngine(t, tp, routing.NewMinimal(tp), m.Apply(ex))
+		if !e.RunUntilDrained(4_000_000) {
+			t.Fatal("mapped exchange did not drain")
+		}
+		return e.Results().Cycles
+	}
+	contig := run(traffic.ContiguousMapping(tp.Nodes()))
+	random := run(traffic.RandomMapping(tp.Nodes(), rand.New(rand.NewSource(3))))
+	if contig >= random {
+		t.Errorf("contiguous (%d cycles) should beat random mapping (%d cycles) on the aligned torus", contig, random)
+	}
+}
+
+// TestCollectiveEndToEnd: dependency-gated collectives run through
+// the simulator; recursive doubling completes in fewer steps than the
+// ring on a diameter-two network (latency-dominated regime).
+func TestCollectiveEndToEnd(t *testing.T) {
+	tp := mustOFT(t, 3)
+	n := 32 // power of two subset of the machine
+	run := func(c sim.Workload, total int64) int64 {
+		e := buildEngine(t, tp, routing.NewMinimal(tp), c)
+		if !e.RunUntilDrained(4_000_000) {
+			t.Fatalf("%s did not drain", c.Name())
+		}
+		res := e.Results()
+		if res.Delivered != total {
+			t.Fatalf("%s delivered %d of %d", c.Name(), res.Delivered, total)
+		}
+		return res.Cycles
+	}
+	ring, err := traffic.RingAllGather(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringCycles := run(ring, ring.TotalPackets())
+	rd, err := traffic.RecursiveDoublingAllGather(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(rd, rd.TotalPackets())
+	// The ring's dependency chain is n-1 deep: completion must scale
+	// roughly linearly with n (the defining property the dependency
+	// gating exists to model). Which algorithm wins in absolute
+	// cycles depends on process placement — the contiguous mapping
+	// makes most ring hops router-local here.
+	smallRing, err := traffic.RingAllGather(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallCycles := run(smallRing, smallRing.TotalPackets())
+	if ringCycles < smallCycles*5/2 {
+		t.Errorf("ring(32) = %d cycles vs ring(8) = %d: dependency chain not enforced", ringCycles, smallCycles)
+	}
+	bc, err := traffic.BinomialBroadcast(n, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(bc, bc.TotalPackets())
+}
+
+// TestSpeedupImprovesSaturation: crossbar speedup 2 raises uniform
+// saturation relative to speedup 1 at a narrow allocation window
+// (the alternative HOL remedy to windowed allocation).
+func TestSpeedupImprovesSaturation(t *testing.T) {
+	tp := mustOFT(t, 3)
+	run := func(speedup int) float64 {
+		cfg := sim.TestConfig(1)
+		cfg.AllocWindow = 1 // expose pure HOL behaviour
+		cfg.Speedup = speedup
+		net, err := sim.NewNetwork(tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 1.0, PacketFlits: cfg.PacketFlits()}
+		e, err := sim.NewEngine(net, routing.NewMinimal(tp), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Warmup = 3000
+		e.Run(15000)
+		return e.Results().Throughput
+	}
+	s1, s2 := run(1), run(2)
+	if s1 > 0.70 {
+		t.Errorf("speedup-1 window-1 saturation %.3f: HOL limit should bind near 0.59", s1)
+	}
+	if s2 < s1+0.1 {
+		t.Errorf("speedup 2 (%.3f) should clearly beat speedup 1 (%.3f)", s2, s1)
+	}
+}
+
+// TestFairnessUniform: round-robin arbitration keeps uniform traffic
+// fair across destinations (Jain index near 1).
+func TestFairnessUniform(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.7, PacketFlits: 4}
+	e := buildEngine(t, tp, routing.NewMinimal(tp), w)
+	e.EnablePerNodeStats()
+	e.Warmup = 3000
+	e.Run(16000)
+	f := e.Fairness()
+	if f.JainIndex < 0.95 {
+		t.Errorf("Jain index %.3f under uniform traffic, want ~1", f.JainIndex)
+	}
+	if f.Mean < 0.6 || f.Mean > 0.8 {
+		t.Errorf("mean per-node throughput %.3f, want ~0.7", f.Mean)
+	}
+	if f.Min > f.Mean || f.Max < f.Mean {
+		t.Error("min/mean/max ordering violated")
+	}
+	// Disabled engines report zeros.
+	e2 := buildEngine(t, tp, routing.NewMinimal(tp), w)
+	e2.Run(100)
+	if got := e2.Fairness(); got.JainIndex != 0 {
+		t.Error("fairness reported without enabling")
+	}
+}
+
+// TestBandwidthDelayProduct: sustained full-rate transfer over a
+// multi-hop path needs input buffering of at least the credit
+// round-trip (bandwidth-delay product); starving the buffers below it
+// throttles throughput even with zero contention.
+func TestBandwidthDelayProduct(t *testing.T) {
+	tp := mustMLFM(t, 3)
+	// A single cross-column flow: node 0 to a node on a cross-column
+	// router (single 2-hop path, no contention).
+	dstRouter := tp.LocalRouter(1, 2)
+	dst := tp.RouterNodes(dstRouter)[0]
+	perm := make([]int, tp.Nodes())
+	for i := range perm {
+		perm[i] = (i + 1) % tp.Nodes() // placeholder; only node 0 injects
+	}
+	run := func(bufFlits int) float64 {
+		cfg := sim.TestConfig(1)
+		cfg.InputBufFlits = bufFlits
+		cfg.OutputBufFlits = 64
+		net, err := sim.NewNetwork(tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &singleFlow{dst: dst}
+		e, err := sim.NewEngine(net, routing.NewMinimal(tp), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Warmup = 2000
+		e.Run(10000)
+		return e.Results().Throughput * float64(tp.Nodes()) // per-flow rate
+	}
+	// Credit round trip = serialization (4) + credit latency (1+...);
+	// 4-flit buffers cannot cover it; 32-flit buffers can.
+	tiny := run(4)
+	ample := run(32)
+	if ample < 0.95 {
+		t.Errorf("ample buffers sustain %.3f, want ~1.0", ample)
+	}
+	if tiny > ample*0.9 {
+		t.Errorf("BDP-starved buffers sustain %.3f vs %.3f: backpressure not modeled", tiny, ample)
+	}
+}
+
+// singleFlow injects continuously from node 0 to a fixed destination.
+type singleFlow struct{ dst int }
+
+func (s *singleFlow) Name() string { return "single-flow" }
+func (s *singleFlow) Done() bool   { return false }
+func (s *singleFlow) NextPacket(src int, _ int64, _ *rand.Rand) (int, bool) {
+	if src != 0 {
+		return 0, false
+	}
+	return s.dst, true
+}
+
+// TestInvariantsHoldDuringRuns: conservation laws hold throughout
+// saturated runs on every topology/routing combination.
+func TestInvariantsHoldDuringRuns(t *testing.T) {
+	cases := []struct {
+		tp  topo.Topology
+		alg func(topo.Topology) sim.RoutingAlgorithm
+	}{
+		{mustMLFM(t, 4), func(tp topo.Topology) sim.RoutingAlgorithm { return routing.NewMinimal(tp) }},
+		{mustOFT(t, 3), func(tp topo.Topology) sim.RoutingAlgorithm { return routing.NewValiant(tp) }},
+		{mustSF(t, 5), func(tp topo.Topology) sim.RoutingAlgorithm { return routing.NewValiant(tp) }},
+	}
+	for _, c := range cases {
+		alg := c.alg(c.tp)
+		cfg := sim.TestConfig(alg.NumVCs())
+		net, err := sim.NewNetwork(c.tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: c.tp.Nodes()}, Load: 1.0, PacketFlits: cfg.PacketFlits()}
+		e, err := sim.NewEngine(net, alg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RunChecked(6000, 500); err != nil {
+			t.Errorf("%s/%s: %v", c.tp.Name(), alg.Name(), err)
+		}
+	}
+}
+
+// TestSoakRandomTopologies: randomly generated connected topologies
+// drain an all-to-all under generic minimal and Valiant routing with
+// hop-indexed VCs, and the engine invariants hold — the catch-all
+// property behind "works on arbitrary user-supplied networks".
+func TestSoakRandomTopologies(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		nR := 6 + rng.Intn(10)
+		g := graph.New(nR)
+		for v := 1; v < nR; v++ {
+			g.MustAddEdge(v, rng.Intn(v))
+		}
+		for k := 0; k < nR; k++ {
+			u, v := rng.Intn(nR), rng.Intn(nR)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		nodesAt := map[int]int{}
+		for v := 0; v < nR; v++ {
+			if rng.Intn(3) > 0 { // ~2/3 of routers carry endpoints
+				nodesAt[v] = 1 + rng.Intn(3)
+			}
+		}
+		if len(nodesAt) < 2 {
+			nodesAt[0] = 2
+			nodesAt[1] = 2
+		}
+		tp, err := topo.NewCustom(fmt.Sprintf("soak-%d", trial), g, nodesAt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, alg := range []sim.RoutingAlgorithm{routing.NewMinimal(tp), routing.NewValiant(tp)} {
+			cfg := sim.TestConfig(alg.NumVCs())
+			net, err := sim.NewNetwork(tp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex := traffic.AllToAll(tp.Nodes(), 1, nil)
+			e, err := sim.NewEngine(net, alg, ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !e.RunUntilDrained(2_000_000) {
+				t.Fatalf("trial %d (%s): did not drain", trial, alg.Name())
+			}
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, alg.Name(), err)
+			}
+			if e.Results().Delivered != ex.TotalPackets() {
+				t.Fatalf("trial %d (%s): conservation violated", trial, alg.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"diam2/internal/routing"
+	"diam2/internal/sim"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+)
+
+// TestDegradedTopologyReroutes: after failing links, minimal routing
+// still delivers all traffic (over longer paths) — the routing tables
+// are rebuilt from the degraded graph.
+func TestDegradedTopologyReroutes(t *testing.T) {
+	base := mustMLFM(t, 4)
+	g := base.Graph()
+	// Fail three links touching different routers.
+	var failed [][2]int
+	for _, e := range g.Edges() {
+		if len(failed) == 3 {
+			break
+		}
+		skip := false
+		for _, f := range failed {
+			if f[0] == e[0] || f[1] == e[1] || f[0] == e[1] || f[1] == e[0] {
+				skip = true
+			}
+		}
+		if !skip {
+			failed = append(failed, e)
+		}
+	}
+	deg, err := topo.Degrade(base, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Graph().NumEdges() != g.NumEdges()-3 {
+		t.Fatalf("degraded edges = %d, want %d", deg.Graph().NumEdges(), g.NumEdges()-3)
+	}
+	ex := traffic.AllToAll(deg.Nodes(), 1, nil)
+	alg := routing.NewMinimal(deg)
+	e := buildEngine(t, deg, alg, ex)
+	if !e.RunUntilDrained(4_000_000) {
+		t.Fatalf("degraded exchange did not drain: %+v", e.Results())
+	}
+	res := e.Results()
+	if res.Delivered != ex.TotalPackets() {
+		t.Errorf("delivered %d of %d", res.Delivered, ex.TotalPackets())
+	}
+	// Rerouting may stretch some minimal paths beyond 2 hops.
+	if res.AvgHops > 3 {
+		t.Errorf("AvgHops = %v, unexpectedly long", res.AvgHops)
+	}
+}
+
+func TestDegradeValidation(t *testing.T) {
+	base := mustMLFM(t, 3)
+	if _, err := topo.Degrade(base, [][2]int{{0, 1}}); err == nil {
+		t.Error("nonexistent link accepted (LRs are never adjacent)")
+	}
+	e := base.Graph().Edges()[0]
+	if _, err := topo.Degrade(base, [][2]int{e, e}); err == nil {
+		t.Error("duplicate failed link accepted")
+	}
+	// Failing every link of one GR disconnects it.
+	gr := base.GlobalRouter(0, 1)
+	var all [][2]int
+	for _, nb := range base.Graph().Neighbors(gr) {
+		all = append(all, [2]int{gr, nb})
+	}
+	if _, err := topo.Degrade(base, all); err == nil {
+		t.Error("disconnecting failure set accepted")
+	}
+	deg, err := topo.Degrade(base, [][2]int{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Name() == base.Name() {
+		t.Error("degraded topology should carry a distinct name")
+	}
+	if len(deg.Failed()) != 1 {
+		t.Error("Failed() should list the removed link")
+	}
+}
+
+// deadlockProne wraps Valiant but lies about its VC requirement and
+// pins every packet to VC 0, recreating the cyclic channel dependency
+// the paper's 2-VC scheme exists to break.
+type deadlockProne struct{ *routing.Valiant }
+
+func (d deadlockProne) NumVCs() int { return 1 }
+
+func (d deadlockProne) Inject(p *sim.Packet, r *sim.Router, rng *rand.Rand) int {
+	d.Valiant.Inject(p, r, rng)
+	return 0
+}
+
+func (d deadlockProne) NextHop(p *sim.Packet, r *sim.Router, rng *rand.Rand) (int, int) {
+	port, _ := d.Valiant.NextHop(p, r, rng)
+	return port, 0
+}
+
+// TestDeadlockDetectionWithoutVCs: indirect routing squeezed onto a
+// single VC deadlocks under load, and the engine's stall detector
+// reports it; the same workload on the paper's 2-VC assignment keeps
+// flowing.
+func TestDeadlockDetectionWithoutVCs(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	run := func(alg sim.RoutingAlgorithm, vcs int) *sim.Engine {
+		cfg := sim.TestConfig(vcs)
+		cfg.InputBufFlits = 8 // small buffers make cycles close fast
+		cfg.OutputBufFlits = 8
+		net, err := sim.NewNetwork(tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 1.0, PacketFlits: cfg.PacketFlits()}
+		e, err := sim.NewEngine(net, alg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(30000)
+		return e
+	}
+	bad := run(deadlockProne{routing.NewValiant(tp)}, 1)
+	if !bad.Stalled(5000) {
+		t.Errorf("1-VC indirect routing did not deadlock: %+v", bad.Results())
+	}
+	good := run(routing.NewValiant(tp), 2)
+	if good.Stalled(5000) {
+		t.Errorf("2-VC indirect routing stalled: %+v", good.Results())
+	}
+	if good.Results().Delivered == 0 {
+		t.Error("2-VC run delivered nothing")
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "sort"
+
+// FairnessStats summarizes the per-node delivered throughput
+// distribution over the measurement window — the starvation check
+// aggregate throughput hides (a saturated network can serve some
+// nodes at full rate while starving others; round-robin arbitration
+// is supposed to prevent that).
+type FairnessStats struct {
+	Min, Max, Mean float64
+	P10, P90       float64
+	// JainIndex is Jain's fairness index: 1.0 = perfectly equal,
+	// 1/n = one node gets everything.
+	JainIndex float64
+}
+
+// EnablePerNodeStats turns on per-destination delivered-flit
+// accounting.
+func (e *Engine) EnablePerNodeStats() {
+	if e.perNodeFlits == nil {
+		e.perNodeFlits = make([]int64, len(e.Net.Nodes))
+	}
+}
+
+// Fairness computes the per-node received-throughput distribution
+// (fractions of link bandwidth). Zero value unless EnablePerNodeStats
+// was called before the run.
+func (e *Engine) Fairness() FairnessStats {
+	var st FairnessStats
+	window := e.now - e.Warmup
+	if e.perNodeFlits == nil || window <= 0 || len(e.perNodeFlits) == 0 {
+		return st
+	}
+	xs := make([]float64, len(e.perNodeFlits))
+	var sum, sumSq float64
+	for i, f := range e.perNodeFlits {
+		x := float64(f) / float64(window)
+		xs[i] = x
+		sum += x
+		sumSq += x * x
+	}
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	st.Min = xs[0]
+	st.Max = xs[len(xs)-1]
+	st.Mean = sum / n
+	st.P10 = xs[int(0.10*n)]
+	st.P90 = xs[int(0.90*n)]
+	if sumSq > 0 {
+		st.JainIndex = sum * sum / (n * sumSq)
+	}
+	return st
+}

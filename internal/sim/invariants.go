@@ -1,0 +1,91 @@
+package sim
+
+import "fmt"
+
+// CheckInvariants validates the engine's conservation laws at the
+// current cycle; it is the simulator's self-test, used by the test
+// suite after (and during) runs. It verifies:
+//
+//   - packet conservation: generated = injected + source-queued and
+//     injected = delivered + in-network;
+//   - credit conservation: for every network link, the upstream credit
+//     counter plus flits resident or in flight downstream never
+//     exceeds the input buffer capacity;
+//   - occupancy sanity: all occupancy and credit counters are
+//     non-negative and within capacity.
+func (e *Engine) CheckInvariants() error {
+	// Packet conservation.
+	var queued int64
+	for _, nd := range e.Net.Nodes {
+		queued += int64(nd.srcQ.len())
+	}
+	if e.generated != e.injected+queued {
+		return fmt.Errorf("sim: generated %d != injected %d + source-queued %d",
+			e.generated, e.injected, queued)
+	}
+	if e.delivered > e.injected {
+		return fmt.Errorf("sim: delivered %d > injected %d", e.delivered, e.injected)
+	}
+
+	// Counter sanity.
+	for _, r := range e.Net.Routers {
+		inCount, outCount := 0, 0
+		for i := range r.inQ {
+			inCount += r.inQ[i].len()
+		}
+		for i := range r.outQ {
+			outCount += r.outQ[i].len()
+		}
+		if inCount != r.inCount || outCount != r.outCount {
+			return fmt.Errorf("sim: router %d queue counters (%d,%d) != actual (%d,%d)",
+				r.ID, r.inCount, r.outCount, inCount, outCount)
+		}
+		for port := 0; port < r.nPorts; port++ {
+			for vc := 0; vc < e.Cfg.NumVCs; vc++ {
+				i := r.idx(port, vc)
+				if r.outOcc[i] < 0 {
+					return fmt.Errorf("sim: router %d port %d vc %d outOcc %d < 0", r.ID, port, vc, r.outOcc[i])
+				}
+				if r.outOcc[i] > e.Cfg.OutputBufFlits {
+					return fmt.Errorf("sim: router %d port %d vc %d outOcc %d > capacity %d",
+						r.ID, port, vc, r.outOcc[i], e.Cfg.OutputBufFlits)
+				}
+				if r.credits[i] < 0 {
+					return fmt.Errorf("sim: router %d port %d vc %d credits %d < 0", r.ID, port, vc, r.credits[i])
+				}
+				if !r.isTerminal(port) && r.credits[i] > e.Cfg.InputBufFlits {
+					return fmt.Errorf("sim: router %d port %d vc %d credits %d > capacity %d",
+						r.ID, port, vc, r.credits[i], e.Cfg.InputBufFlits)
+				}
+			}
+			if r.pendingOut[port] < 0 {
+				return fmt.Errorf("sim: router %d port %d pendingOut %d < 0", r.ID, port, r.pendingOut[port])
+			}
+		}
+	}
+	for _, nd := range e.Net.Nodes {
+		for vc, c := range nd.credits {
+			if c < 0 || c > e.Cfg.InputBufFlits {
+				return fmt.Errorf("sim: node %d vc %d credits %d out of [0,%d]", nd.ID, vc, c, e.Cfg.InputBufFlits)
+			}
+		}
+	}
+	return nil
+}
+
+// RunChecked is Run with invariant checks every checkEvery cycles
+// (and once at the end); it returns the first violation found.
+func (e *Engine) RunChecked(n, checkEvery int64) error {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	for i := int64(0); i < n; i++ {
+		e.Step()
+		if i%checkEvery == checkEvery-1 {
+			if err := e.CheckInvariants(); err != nil {
+				return fmt.Errorf("%w (at cycle %d)", err, e.now)
+			}
+		}
+	}
+	return e.CheckInvariants()
+}

@@ -1,0 +1,76 @@
+package sim
+
+import "sort"
+
+// LinkStats collects per-link utilization during the measurement
+// window. Enable with Engine.EnableLinkStats before running; the
+// counters index directed router-to-router links (terminal links are
+// excluded — their utilization equals the injection/ejection rates
+// already reported).
+type LinkStats struct {
+	enabled bool
+	flits   map[[2]int]int64 // (from,to) -> flits carried
+}
+
+// EnableLinkStats turns on per-link accounting (small overhead per
+// forwarded packet).
+func (e *Engine) EnableLinkStats() {
+	e.linkStats.enabled = true
+	if e.linkStats.flits == nil {
+		e.linkStats.flits = make(map[[2]int]int64)
+	}
+}
+
+func (e *Engine) recordLink(from, to, flits int) {
+	if !e.linkStats.enabled || e.now < e.Warmup {
+		return
+	}
+	e.linkStats.flits[[2]int{from, to}] += int64(flits)
+}
+
+// LinkLoad is the utilization of one directed link over the
+// measurement window (1.0 = fully occupied every cycle).
+type LinkLoad struct {
+	From, To int
+	Load     float64
+}
+
+// LinkLoads returns the recorded directed-link utilizations sorted by
+// decreasing load. It is empty unless EnableLinkStats was called
+// before the run.
+func (e *Engine) LinkLoads() []LinkLoad {
+	window := e.now - e.Warmup
+	if window <= 0 {
+		return nil
+	}
+	out := make([]LinkLoad, 0, len(e.linkStats.flits))
+	for k, v := range e.linkStats.flits {
+		out = append(out, LinkLoad{From: k[0], To: k[1], Load: float64(v) / float64(window)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Load != out[j].Load {
+			return out[i].Load > out[j].Load
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// MaxLinkLoad returns the highest directed-link utilization (0 when
+// stats are disabled or nothing was recorded).
+func (e *Engine) MaxLinkLoad() float64 {
+	var max float64
+	window := e.now - e.Warmup
+	if window <= 0 {
+		return 0
+	}
+	for _, v := range e.linkStats.flits {
+		if l := float64(v) / float64(window); l > max {
+			max = l
+		}
+	}
+	return max
+}

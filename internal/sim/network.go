@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+
+	"diam2/internal/topo"
+)
+
+// Router is the simulator model of one switch: per-port, per-VC input
+// and output buffers joined by a crossbar with speedup 1.
+//
+// Port layout: network ports first (one per neighbor, in
+// graph-neighbor order), then one terminal port per attached node.
+type Router struct {
+	ID       int
+	net      *Network
+	nPorts   int
+	netPorts int
+	neighbor []int       // network port -> neighbor router
+	portOf   map[int]int // neighbor router -> network port
+	nodeAt   []int       // terminal port index (0-based from netPorts) -> node
+
+	inQ  []queue // [port*numVC + vc]
+	outQ []queue
+
+	outOcc  []int // reserved output-buffer occupancy, flits [port*numVC+vc]
+	credits []int // free space in the downstream input buffer [port*numVC+vc]
+
+	inPortFree []int64 // input port -> cycle it can start a new stream
+	outAccept  []int64 // output port -> cycle the crossbar output can accept a new stream
+	linkFree   []int64 // output port -> cycle the outgoing link is free
+
+	rrIn  int   // round-robin pointer over input ports
+	rrVC  []int // per input port, round-robin pointer over VCs
+	rrOut []int // per output port, round-robin pointer over VCs
+
+	inCount  int // packets currently buffered in input queues
+	outCount int // packets currently buffered in output queues
+
+	// pendingOut[port] counts flits sitting in this router's input
+	// buffers whose (cached) route decision targets the port — the
+	// virtual-output-queue load. Together with the output buffer
+	// occupancy it forms the congestion signal adaptive routing
+	// reads: in an input-output-buffered switch the output buffer
+	// alone stays near-empty even on a hot port, because the
+	// crossbar feeds it no faster than the link drains it; the
+	// backlog lives on the input side.
+	pendingOut []int
+}
+
+// Network wires the topology into routers and nodes.
+type Network struct {
+	Topo    topo.Topology
+	Cfg     Config
+	Routers []*Router
+	Nodes   []*Node
+
+	nodeRouterPort []int // node -> terminal port index at its router
+}
+
+// Node is an end-node: a bounded source queue feeding the terminal
+// link to its router, plus the ejection sink.
+type Node struct {
+	ID       int
+	Router   int
+	srcQ     queue
+	linkFree int64
+	credits  []int // per VC: free space in the router's terminal input buffer
+}
+
+// NewNetwork builds the simulator state for a topology.
+func NewNetwork(t topo.Topology, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := t.Graph()
+	n := &Network{
+		Topo:           t,
+		Cfg:            cfg,
+		Routers:        make([]*Router, g.N()),
+		Nodes:          make([]*Node, t.Nodes()),
+		nodeRouterPort: make([]int, t.Nodes()),
+	}
+	for r := 0; r < g.N(); r++ {
+		nbs := g.Neighbors(r)
+		nodes := t.RouterNodes(r)
+		rt := &Router{
+			ID:       r,
+			net:      n,
+			netPorts: len(nbs),
+			nPorts:   len(nbs) + len(nodes),
+			neighbor: nbs,
+			portOf:   make(map[int]int, len(nbs)),
+			nodeAt:   nodes,
+		}
+		for p, nb := range nbs {
+			rt.portOf[nb] = p
+		}
+		v := cfg.NumVCs
+		rt.inQ = make([]queue, rt.nPorts*v)
+		rt.outQ = make([]queue, rt.nPorts*v)
+		rt.outOcc = make([]int, rt.nPorts*v)
+		rt.credits = make([]int, rt.nPorts*v)
+		for i := range rt.credits {
+			rt.credits[i] = cfg.InputBufFlits
+		}
+		rt.inPortFree = make([]int64, rt.nPorts)
+		rt.outAccept = make([]int64, rt.nPorts)
+		rt.linkFree = make([]int64, rt.nPorts)
+		rt.rrVC = make([]int, rt.nPorts)
+		rt.rrOut = make([]int, rt.nPorts)
+		rt.pendingOut = make([]int, rt.nPorts)
+		n.Routers[r] = rt
+		for i, node := range nodes {
+			n.nodeRouterPort[node] = len(nbs) + i
+		}
+	}
+	for id := 0; id < t.Nodes(); id++ {
+		nd := &Node{ID: id, Router: t.NodeRouter(id), credits: make([]int, cfg.NumVCs)}
+		for v := range nd.credits {
+			nd.credits[v] = cfg.InputBufFlits
+		}
+		n.Nodes[id] = nd
+	}
+	return n, nil
+}
+
+// Network returns the network this router belongs to (used by
+// global-knowledge routing variants to inspect remote routers).
+func (r *Router) Network() *Network { return r.net }
+
+// PortTo returns the network port of this router that leads to the
+// neighboring router next, or an error if they are not adjacent.
+func (r *Router) PortTo(next int) (int, error) {
+	p, ok := r.portOf[next]
+	if !ok {
+		return 0, fmt.Errorf("sim: router %d not adjacent to %d", r.ID, next)
+	}
+	return p, nil
+}
+
+// NeighborAt returns the router on the other end of a network port.
+func (r *Router) NeighborAt(port int) int { return r.neighbor[port] }
+
+// NetPorts returns the number of network (router-to-router) ports.
+func (r *Router) NetPorts() int { return r.netPorts }
+
+// OutOccupancy returns the congestion signal adaptive routing reads
+// for a port ("the occupancy of the first output port of the path"):
+// the reserved output-buffer occupancy plus the virtual-output-queue
+// load — flits in this router's input buffers already routed toward
+// the port.
+func (r *Router) OutOccupancy(port int) int {
+	s := r.pendingOut[port]
+	v := r.net.Cfg.NumVCs
+	for i := port * v; i < (port+1)*v; i++ {
+		s += r.outOcc[i]
+	}
+	return s
+}
+
+// OutBufferOccupancy returns only the output-buffer part of the
+// signal (exposed for analysis and ablations).
+func (r *Router) OutBufferOccupancy(port int) int {
+	s := 0
+	v := r.net.Cfg.NumVCs
+	for i := port * v; i < (port+1)*v; i++ {
+		s += r.outOcc[i]
+	}
+	return s
+}
+
+// terminalPortFor returns the output port of the destination node's
+// router that ejects to that node.
+func (n *Network) terminalPortFor(node int) int { return n.nodeRouterPort[node] }
+
+func (r *Router) idx(port, vc int) int { return port*r.net.Cfg.NumVCs + vc }
+
+// isTerminal reports whether a port is a terminal (node) port.
+func (r *Router) isTerminal(port int) bool { return port >= r.netPorts }

@@ -1,0 +1,76 @@
+package sim
+
+// Packet is the unit of routing; it serializes as Flits flits.
+type Packet struct {
+	ID        int64
+	Src, Dst  int // end-node IDs
+	SrcRouter int
+	DstRouter int
+	Flits     int
+
+	GenTime     int64 // cycle the packet entered the source queue
+	InjectTime  int64 // cycle the packet started onto the terminal link
+	DeliverTime int64 // cycle the tail flit reached the destination node
+	Hops        int   // router-to-router hops taken
+
+	// Routing state, owned by the routing algorithm.
+	Minimal      bool // true: minimal route; false: indirect (Valiant)
+	Intermediate int  // intermediate router for indirect routes, else -1
+	PhaseTwo     bool // indirect routes: intermediate already reached
+	VC           int  // VC assigned on the current link
+}
+
+// queue is a FIFO of buffer entries backed by a slice with an
+// amortized-compacting head index.
+type queue struct {
+	items []entry
+	head  int
+}
+
+// entry is one packet resident in (or traversing toward) a buffer.
+type entry struct {
+	pkt   *Packet
+	ready int64 // cycle the head flit is present in this buffer
+	// Cached routing decision (switch allocation stage); -1 until set.
+	outPort int
+	outVC   int
+}
+
+func (q *queue) empty() bool { return q.head >= len(q.items) }
+
+func (q *queue) len() int { return len(q.items) - q.head }
+
+func (q *queue) push(e entry) { q.items = append(q.items, e) }
+
+// front returns a pointer to the head entry; call only when !empty().
+func (q *queue) front() *entry { return &q.items[q.head] }
+
+func (q *queue) pop() entry {
+	e := q.items[q.head]
+	q.items[q.head] = entry{} // release references
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return e
+}
+
+// at returns a pointer to the i-th entry from the front (0 = head);
+// call only when i < len().
+func (q *queue) at(i int) *entry { return &q.items[q.head+i] }
+
+// removeAt removes and returns the i-th entry from the front,
+// preserving the order of the rest. removeAt(0) == pop().
+func (q *queue) removeAt(i int) entry {
+	if i == 0 {
+		return q.pop()
+	}
+	pos := q.head + i
+	e := q.items[pos]
+	copy(q.items[pos:], q.items[pos+1:])
+	q.items[len(q.items)-1] = entry{}
+	q.items = q.items[:len(q.items)-1]
+	return e
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	var q queue
+	if !q.empty() || q.len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	for i := 0; i < 5; i++ {
+		q.push(entry{ready: int64(i)})
+	}
+	if q.len() != 5 {
+		t.Fatalf("len = %d", q.len())
+	}
+	for i := 0; i < 5; i++ {
+		if got := q.pop().ready; got != int64(i) {
+			t.Fatalf("pop %d returned %d", i, got)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestQueueAt(t *testing.T) {
+	var q queue
+	for i := 0; i < 4; i++ {
+		q.push(entry{ready: int64(10 + i)})
+	}
+	q.pop()
+	for i := 0; i < 3; i++ {
+		if q.at(i).ready != int64(11+i) {
+			t.Fatalf("at(%d) = %d", i, q.at(i).ready)
+		}
+	}
+	// Mutation through at() must persist.
+	q.at(1).outPort = 7
+	if q.at(1).outPort != 7 {
+		t.Fatal("at() mutation lost")
+	}
+}
+
+func TestQueueRemoveAt(t *testing.T) {
+	var q queue
+	for i := 0; i < 5; i++ {
+		q.push(entry{ready: int64(i)})
+	}
+	if got := q.removeAt(2).ready; got != 2 {
+		t.Fatalf("removeAt(2) = %d", got)
+	}
+	want := []int64{0, 1, 3, 4}
+	for i, w := range want {
+		if q.at(i).ready != w {
+			t.Fatalf("after removeAt, at(%d) = %d, want %d", i, q.at(i).ready, w)
+		}
+	}
+	if got := q.removeAt(0).ready; got != 0 {
+		t.Fatalf("removeAt(0) = %d", got)
+	}
+	if q.len() != 3 {
+		t.Fatalf("len = %d", q.len())
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	var q queue
+	// Force the amortized head compaction path.
+	for i := 0; i < 300; i++ {
+		q.push(entry{ready: int64(i)})
+	}
+	for i := 0; i < 200; i++ {
+		if got := q.pop().ready; got != int64(i) {
+			t.Fatalf("pop %d = %d", i, got)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		q.push(entry{ready: int64(300 + i)})
+	}
+	for i := 0; i < 200; i++ {
+		want := int64(200 + i)
+		if got := q.pop().ready; got != want {
+			t.Fatalf("post-compaction pop = %d, want %d", got, want)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// Property: any interleaving of pushes and ordered removals preserves
+// FIFO order of the survivors.
+func TestQuickQueueOrder(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		var q queue
+		next := int64(0)
+		var model []int64
+		for _, op := range ops {
+			switch {
+			case op%3 != 0 || len(model) == 0:
+				q.push(entry{ready: next})
+				model = append(model, next)
+				next++
+			default:
+				i := int(op/3) % len(model)
+				got := q.removeAt(i).ready
+				if got != model[i] {
+					return false
+				}
+				model = append(model[:i], model[i+1:]...)
+			}
+			if q.len() != len(model) {
+				return false
+			}
+		}
+		for i, w := range model {
+			if q.at(i).ready != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

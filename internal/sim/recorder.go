@@ -1,0 +1,82 @@
+package sim
+
+// RouteRecorder captures the router sequence each packet traverses
+// (sampled; bounded memory). Enable with Engine.EnableRouteRecording
+// before running. Routes are the ground truth for validating routing
+// invariants — monotone distance decrease for minimal routing, the
+// two-leg structure of Valiant routes, VC monotonicity — directly
+// against what the simulator actually did rather than what the
+// algorithm intended.
+type RouteRecorder struct {
+	every  int64 // record every k-th packet (by ID)
+	max    int
+	routes map[int64]*RecordedRoute
+}
+
+// RecordedRoute is one packet's observed path.
+type RecordedRoute struct {
+	Src, Dst     int // nodes
+	Routers      []int
+	VCs          []int // VC used on each router-to-router link
+	Minimal      bool
+	Intermediate int
+	Delivered    bool
+}
+
+// EnableRouteRecording samples every k-th packet (k >= 1), keeping at
+// most maxRoutes routes.
+func (e *Engine) EnableRouteRecording(every int64, maxRoutes int) {
+	if every < 1 {
+		every = 1
+	}
+	if maxRoutes < 1 {
+		maxRoutes = 1
+	}
+	e.recorder = &RouteRecorder{every: every, max: maxRoutes, routes: make(map[int64]*RecordedRoute)}
+}
+
+// Routes returns the recorded routes (nil unless recording was
+// enabled). Only routes with Delivered set are complete.
+func (e *Engine) Routes() []*RecordedRoute {
+	if e.recorder == nil {
+		return nil
+	}
+	out := make([]*RecordedRoute, 0, len(e.recorder.routes))
+	for _, r := range e.recorder.routes {
+		out = append(out, r)
+	}
+	return out
+}
+
+// recordInject starts a route when the packet enters the network.
+func (rr *RouteRecorder) recordInject(p *Packet) {
+	if p.ID%rr.every != 0 || len(rr.routes) >= rr.max {
+		return
+	}
+	rr.routes[p.ID] = &RecordedRoute{
+		Src:     p.Src,
+		Dst:     p.Dst,
+		Routers: []int{p.SrcRouter},
+	}
+}
+
+// recordHop appends a router-to-router traversal.
+func (rr *RouteRecorder) recordHop(p *Packet, to, vc int) {
+	r, ok := rr.routes[p.ID]
+	if !ok {
+		return
+	}
+	r.Routers = append(r.Routers, to)
+	r.VCs = append(r.VCs, vc)
+}
+
+// recordDeliver finalizes the route.
+func (rr *RouteRecorder) recordDeliver(p *Packet) {
+	r, ok := rr.routes[p.ID]
+	if !ok {
+		return
+	}
+	r.Delivered = true
+	r.Minimal = p.Minimal
+	r.Intermediate = p.Intermediate
+}

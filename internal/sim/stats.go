@@ -1,0 +1,66 @@
+package sim
+
+// Results summarizes a finished run.
+type Results struct {
+	Cycles int64
+	Warmup int64
+
+	Generated int64 // packets created at source queues
+	Injected  int64 // packets that entered the network
+	Delivered int64 // packets whose tail reached the destination node
+
+	// Throughput is the delivered load during the measurement window,
+	// in flits per node per cycle — i.e. as a fraction of the
+	// aggregate injection bandwidth (1.0 = every node receiving at
+	// full link rate).
+	Throughput float64
+	// InjectedLoad is the injected load in the same units.
+	InjectedLoad float64
+
+	AvgLatency    float64 // generation -> delivery, cycles
+	P99Latency    float64
+	MaxLatency    float64
+	AvgNetLatency float64 // injection -> delivery, cycles (excludes source queueing)
+	AvgHops       float64
+	IndirectFrac  float64 // fraction of measured packets routed non-minimally
+}
+
+// Results computes the summary at the current cycle.
+func (e *Engine) Results() Results {
+	res := Results{
+		Cycles:    e.now,
+		Warmup:    e.Warmup,
+		Generated: e.generated,
+		Injected:  e.injected,
+		Delivered: e.delivered,
+	}
+	window := e.now - e.Warmup
+	nodes := int64(len(e.Net.Nodes))
+	if window > 0 && nodes > 0 {
+		res.Throughput = float64(e.deliveredFlitsWindow) / float64(window*nodes)
+		res.InjectedLoad = float64(e.injectedFlitsWindow) / float64(window*nodes)
+	}
+	res.AvgLatency = e.latGen.Mean()
+	res.P99Latency = e.latGen.Percentile(99)
+	res.MaxLatency = e.latGen.Max()
+	res.AvgNetLatency = e.latNet.Mean()
+	res.AvgHops = e.hops.Mean()
+	if n := e.latGen.N(); n > 0 {
+		res.IndirectFrac = float64(e.indirectN) / float64(n)
+	}
+	return res
+}
+
+// LatencySeconds converts a latency in cycles to seconds given the
+// paper's 100 Gbps links.
+func (c Config) LatencySeconds(cycles float64) float64 {
+	cycleSec := float64(c.FlitBytes) * 8 / 100e9
+	return cycles * cycleSec
+}
+
+// CyclesForDuration returns the cycle count corresponding to a
+// duration in seconds at the paper's 100 Gbps link rate.
+func (c Config) CyclesForDuration(seconds float64) int64 {
+	cycleSec := float64(c.FlitBytes) * 8 / 100e9
+	return int64(seconds / cycleSec)
+}

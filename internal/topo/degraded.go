@@ -1,0 +1,58 @@
+package topo
+
+import (
+	"fmt"
+
+	"diam2/internal/graph"
+)
+
+// Degraded wraps a topology with a set of failed router-to-router
+// links removed. It is the substrate for fault-tolerance experiments:
+// routing algorithms construct their tables from Graph(), so minimal
+// and adaptive routing transparently reroute around the failures
+// (minimal paths may legitimately exceed two hops on a degraded
+// diameter-two network; the hop-indexed VC policy sizes itself from
+// the actual distances).
+type Degraded struct {
+	Topology
+	g      *graph.Graph
+	failed [][2]int
+}
+
+// Degrade removes the given undirected router links from a topology.
+// It fails if a link does not exist, if removing the set disconnects
+// the network, or if it would strand an endpoint router.
+func Degrade(t Topology, failed [][2]int) (*Degraded, error) {
+	g := t.Graph().Clone()
+	removed := graph.New(g.N())
+	for _, l := range failed {
+		if !g.HasEdge(l[0], l[1]) {
+			return nil, fmt.Errorf("topo: link (%d,%d) does not exist", l[0], l[1])
+		}
+		if removed.HasEdge(l[0], l[1]) {
+			return nil, fmt.Errorf("topo: link (%d,%d) listed twice", l[0], l[1])
+		}
+		removed.MustAddEdge(l[0], l[1])
+	}
+	rebuilt := graph.New(g.N())
+	for _, e := range g.Edges() {
+		if !removed.HasEdge(e[0], e[1]) {
+			rebuilt.MustAddEdge(e[0], e[1])
+		}
+	}
+	if !rebuilt.Connected() {
+		return nil, fmt.Errorf("topo: removing %d links disconnects %s", len(failed), t.Name())
+	}
+	return &Degraded{Topology: t, g: rebuilt, failed: failed}, nil
+}
+
+// Name implements Topology.
+func (d *Degraded) Name() string {
+	return fmt.Sprintf("%s-%dfail", d.Topology.Name(), len(d.failed))
+}
+
+// Graph implements Topology, returning the degraded graph.
+func (d *Degraded) Graph() *graph.Graph { return d.g }
+
+// Failed returns the removed links.
+func (d *Degraded) Failed() [][2]int { return d.failed }

@@ -1,0 +1,69 @@
+package topo
+
+import (
+	"fmt"
+
+	"diam2/internal/graph"
+)
+
+// Dragonfly is the balanced Dragonfly of Kim et al. (the paper's
+// introduction names it as the most widely deployed cost-reduced
+// alternative; it is included here as a diameter-three baseline for
+// comparison experiments). Parameters: a routers per group, h global
+// links per router, p endpoints per router; the balanced configuration
+// uses a = 2p = 2h. There are g = a*h + 1 groups, each group is a
+// fully connected local mesh, and every pair of groups is joined by
+// exactly one global link (consecutive arrangement).
+type Dragonfly struct {
+	Base
+	A, H, P int // routers/group, global links/router, endpoints/router
+	Groups  int
+}
+
+// NewDragonfly builds a Dragonfly with explicit a, h, p.
+func NewDragonfly(a, h, p int) (*Dragonfly, error) {
+	if a < 1 || h < 1 || p < 1 {
+		return nil, fmt.Errorf("topo: Dragonfly requires a,h,p >= 1, got %d,%d,%d", a, h, p)
+	}
+	g := a*h + 1
+	d := &Dragonfly{A: a, H: h, P: p, Groups: g}
+	gr := graph.New(a * g)
+	id := func(group, router int) int { return group*a + router }
+	// Local: full mesh within each group.
+	for grp := 0; grp < g; grp++ {
+		for i := 0; i < a; i++ {
+			for j := i + 1; j < a; j++ {
+				gr.MustAddEdge(id(grp, i), id(grp, j))
+			}
+		}
+	}
+	// Global: group grp's t-th global link (t = router*h + port)
+	// reaches group (grp + t + 1) mod g; each undirected pair is
+	// added once.
+	for grp := 0; grp < g; grp++ {
+		for t := 0; t < a*h; t++ {
+			dst := (grp + t + 1) % g
+			if grp >= dst {
+				continue
+			}
+			// The destination side's slot for this pair.
+			tBack := g - t - 2
+			gr.MustAddEdge(id(grp, t/h), id(dst, tBack/h))
+		}
+	}
+	eps := make([]int, a*g)
+	for i := range eps {
+		eps[i] = i
+	}
+	d.initBase(fmt.Sprintf("DF(a=%d,h=%d,p=%d)", a, h, p), gr, eps, p)
+	return d, nil
+}
+
+// NewBalancedDragonfly builds the balanced configuration for a given
+// h: a = 2h, p = h (router radix 4h - 1).
+func NewBalancedDragonfly(h int) (*Dragonfly, error) {
+	return NewDragonfly(2*h, h, h)
+}
+
+// Group returns the group index of a router.
+func (d *Dragonfly) Group(router int) int { return router / d.A }

@@ -1,0 +1,79 @@
+package topo
+
+import "testing"
+
+func TestDragonflyConstruction(t *testing.T) {
+	for _, h := range []int{1, 2, 3, 4} {
+		d, err := NewBalancedDragonfly(h)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		a := 2 * h
+		g := a*h + 1
+		if d.Groups != g {
+			t.Errorf("h=%d: groups = %d, want %d", h, d.Groups, g)
+		}
+		if d.Graph().N() != a*g {
+			t.Errorf("h=%d: R = %d, want %d", h, d.Graph().N(), a*g)
+		}
+		if d.Nodes() != h*a*g {
+			t.Errorf("h=%d: N = %d, want %d", h, d.Nodes(), h*a*g)
+		}
+		// Every router: a-1 local + h global links.
+		for r := 0; r < d.Graph().N(); r++ {
+			if got, want := d.Graph().Degree(r), a-1+h; got != want {
+				t.Fatalf("h=%d: router %d degree %d, want %d", h, r, got, want)
+			}
+		}
+		if got, want := d.Radix(), a-1+h+h; got != want {
+			t.Errorf("h=%d: radix %d, want %d", h, got, want)
+		}
+		// Balanced Dragonfly has diameter 3 (local, global, local).
+		want := 3
+		if h == 1 {
+			want = 3 // a=2, g=3: still l-g-l worst case
+		}
+		if err := VerifyDiameter(d, want); err != nil {
+			t.Errorf("h=%d: %v", h, err)
+		}
+	}
+	if _, err := NewDragonfly(0, 1, 1); err == nil {
+		t.Error("invalid parameters accepted")
+	}
+}
+
+// TestDragonflyGlobalLinks: every pair of groups is joined by exactly
+// one global link.
+func TestDragonflyGlobalLinks(t *testing.T) {
+	d, err := NewBalancedDragonfly(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := make(map[[2]int]int)
+	for _, e := range d.Graph().Edges() {
+		g1, g2 := d.Group(e[0]), d.Group(e[1])
+		if g1 == g2 {
+			continue
+		}
+		if g1 > g2 {
+			g1, g2 = g2, g1
+		}
+		count[[2]int{g1, g2}]++
+	}
+	want := d.Groups * (d.Groups - 1) / 2
+	if len(count) != want {
+		t.Fatalf("connected group pairs = %d, want %d", len(count), want)
+	}
+	for pair, c := range count {
+		if c != 1 {
+			t.Errorf("groups %v joined by %d links, want 1", pair, c)
+		}
+	}
+}
+
+func TestDragonflyGroup(t *testing.T) {
+	d, _ := NewBalancedDragonfly(2)
+	if d.Group(0) != 0 || d.Group(d.A) != 1 {
+		t.Error("Group() misassigns")
+	}
+}

@@ -1,0 +1,103 @@
+package topo
+
+import (
+	"fmt"
+
+	"diam2/internal/graph"
+)
+
+// FatTree2 is the full-bisection two-level Fat-Tree of Section 2.2.1:
+// with router radix r, r leaf routers each attach p = r/2 end-nodes
+// and connect with one link to each of the r/2 spine routers.
+// N = r^2/2, R = 3r/2, 3 ports and 2 links per endpoint.
+type FatTree2 struct {
+	Base
+	R int // router radix (even)
+}
+
+// NewFatTree2 builds the two-level Fat-Tree for even radix r >= 2.
+func NewFatTree2(r int) (*FatTree2, error) {
+	if r < 2 || r%2 != 0 {
+		return nil, fmt.Errorf("topo: two-level Fat-Tree requires even radix >= 2, got %d", r)
+	}
+	leaves := r
+	spines := r / 2
+	g := graph.New(leaves + spines)
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			g.MustAddEdge(l, leaves+s)
+		}
+	}
+	eps := make([]int, leaves)
+	for i := range eps {
+		eps[i] = i
+	}
+	ft := &FatTree2{R: r}
+	ft.initBase(fmt.Sprintf("FT2(r=%d)", r), g, eps, r/2)
+	return ft, nil
+}
+
+// Spine reports whether the router is a spine (level-two) router.
+func (ft *FatTree2) Spine(router int) bool { return router >= ft.R }
+
+// FatTree3 is the full-bisection three-level Fat-Tree used as the
+// cost/scalability reference in Fig. 3 (the classical three-tier
+// folded Clos): with router radix r there are r pods, each holding
+// r/2 edge routers (p = r/2 end-nodes each) and r/2 aggregation
+// routers, plus (r/2)^2 core routers. Every edge router links to all
+// aggregation routers of its pod; aggregation router j of each pod
+// links to cores j*r/2 .. (j+1)*r/2-1. N = r^3/4, R = 5r^2/4,
+// 5 ports and 3 links per endpoint.
+type FatTree3 struct {
+	Base
+	R int // router radix (even)
+}
+
+// NewFatTree3 builds the three-level Fat-Tree for even radix r >= 2.
+func NewFatTree3(r int) (*FatTree3, error) {
+	if r < 2 || r%2 != 0 {
+		return nil, fmt.Errorf("topo: three-level Fat-Tree requires even radix >= 2, got %d", r)
+	}
+	h := r / 2
+	pods := r
+	edges := pods * h // edge routers, ids [0, pods*h)
+	aggs := pods * h  // aggregation routers, ids [edges, edges+aggs)
+	cores := h * h    // core routers, ids [edges+aggs, ...)
+	g := graph.New(edges + aggs + cores)
+	edgeID := func(pod, i int) int { return pod*h + i }
+	aggID := func(pod, j int) int { return edges + pod*h + j }
+	coreID := func(c int) int { return edges + aggs + c }
+	for pod := 0; pod < pods; pod++ {
+		for i := 0; i < h; i++ {
+			for j := 0; j < h; j++ {
+				g.MustAddEdge(edgeID(pod, i), aggID(pod, j))
+			}
+		}
+		for j := 0; j < h; j++ {
+			for c := 0; c < h; c++ {
+				g.MustAddEdge(aggID(pod, j), coreID(j*h+c))
+			}
+		}
+	}
+	eps := make([]int, edges)
+	for i := range eps {
+		eps[i] = i
+	}
+	ft := &FatTree3{R: r}
+	ft.initBase(fmt.Sprintf("FT3(r=%d)", r), g, eps, h)
+	return ft, nil
+}
+
+// Level returns 0 for edge, 1 for aggregation and 2 for core routers.
+func (ft *FatTree3) Level(router int) int {
+	h := ft.R / 2
+	edges := ft.R * h
+	switch {
+	case router < edges:
+		return 0
+	case router < 2*edges:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,47 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the parser never panics and that anything
+// it accepts is a well-formed topology whose round trip is stable.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("routers 2\nnodes 0 1\nnodes 1 1\n0 1\n")
+	f.Add("# comment\nrouters 3\nnodes 0 2\nnodes 1 2\nnodes 2 2\n0 1\n1 2\n0 2\n")
+	f.Add("routers 1\n")
+	f.Add("nodes 0 1\n")
+	f.Add("routers -1\n0 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadEdgeList(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return
+		}
+		// Accepted topologies must satisfy the package invariants.
+		if c.Nodes() < 1 {
+			t.Fatal("accepted topology with no nodes")
+		}
+		if !c.Graph().Connected() {
+			t.Fatal("accepted disconnected topology")
+		}
+		for n := 0; n < c.Nodes(); n++ {
+			r := c.NodeRouter(n)
+			if r < 0 || r >= c.Graph().N() {
+				t.Fatalf("node %d on invalid router %d", n, r)
+			}
+		}
+		// Round trip must re-parse to the same shape.
+		var b strings.Builder
+		if err := WriteEdgeList(&b, c); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := ReadEdgeList(strings.NewReader(b.String()), "fuzz2")
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if c2.Nodes() != c.Nodes() || c2.Graph().NumEdges() != c.Graph().NumEdges() {
+			t.Fatal("round trip changed the topology")
+		}
+	})
+}

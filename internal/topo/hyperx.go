@@ -1,0 +1,61 @@
+package topo
+
+import (
+	"fmt"
+
+	"diam2/internal/graph"
+)
+
+// HyperX2D is the two-dimensional HyperX (generalized hypercube,
+// Section 2.1.1): the Cartesian product of two fully-connected graphs
+// of size s, so routers (a, b) with a, b in [0, s) connect whenever
+// they agree in one coordinate. Each router attaches p end-nodes; the
+// balanced configuration uses s = r/3 + 1 and p = r/3 for router
+// radix r.
+type HyperX2D struct {
+	Base
+	S int // routers per dimension
+	P int // endpoints per router
+}
+
+// NewHyperX2D builds an s x s HyperX with p endpoints per router.
+func NewHyperX2D(s, p int) (*HyperX2D, error) {
+	if s < 2 {
+		return nil, fmt.Errorf("topo: HyperX requires s >= 2, got %d", s)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("topo: HyperX requires p >= 1, got %d", p)
+	}
+	g := graph.New(s * s)
+	id := func(a, b int) int { return a*s + b }
+	for a := 0; a < s; a++ {
+		for b := 0; b < s; b++ {
+			for c := b + 1; c < s; c++ {
+				g.MustAddEdge(id(a, b), id(a, c)) // same row
+			}
+		}
+	}
+	for b := 0; b < s; b++ {
+		for a := 0; a < s; a++ {
+			for c := a + 1; c < s; c++ {
+				g.MustAddEdge(id(a, b), id(c, b)) // same column
+			}
+		}
+	}
+	eps := make([]int, s*s)
+	for i := range eps {
+		eps[i] = i
+	}
+	h := &HyperX2D{S: s, P: p}
+	h.initBase(fmt.Sprintf("HyperX(s=%d,p=%d)", s, p), g, eps, p)
+	return h, nil
+}
+
+// NewBalancedHyperX2D builds the balanced configuration for router
+// radix r (r must be divisible by 3): s = r/3 + 1, p = r/3.
+func NewBalancedHyperX2D(r int) (*HyperX2D, error) {
+	if r < 3 || r%3 != 0 {
+		return nil, fmt.Errorf("topo: balanced HyperX requires radix divisible by 3, got %d", r)
+	}
+	return NewHyperX2D(r/3+1, r/3)
+}

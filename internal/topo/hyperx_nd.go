@@ -1,0 +1,78 @@
+package topo
+
+import (
+	"fmt"
+
+	"diam2/internal/graph"
+)
+
+// HyperXND is the n-dimensional HyperX (generalized hypercube) of
+// Section 2.1.1: the Cartesian product of n fully connected graphs.
+// Routers are coordinate vectors; two routers connect when they
+// differ in exactly one coordinate. Diameter = n (one hop per
+// dimension); the paper's diameter-two member is the 2-D case.
+type HyperXND struct {
+	Base
+	Dims []int // routers per dimension
+	P    int   // endpoints per router
+}
+
+// NewHyperXND builds a HyperX with the given per-dimension sizes.
+func NewHyperXND(dims []int, p int) (*HyperXND, error) {
+	if len(dims) < 1 {
+		return nil, fmt.Errorf("topo: HyperX needs at least one dimension")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("topo: HyperX requires p >= 1")
+	}
+	total := 1
+	for i, s := range dims {
+		if s < 2 {
+			return nil, fmt.Errorf("topo: dimension %d has size %d, want >= 2", i, s)
+		}
+		total *= s
+		if total > 1<<20 {
+			return nil, fmt.Errorf("topo: HyperX with %v routers is too large", dims)
+		}
+	}
+	h := &HyperXND{Dims: append([]int(nil), dims...), P: p}
+	g := graph.New(total)
+	// Strides for coordinate <-> id conversion.
+	stride := make([]int, len(dims))
+	stride[0] = 1
+	for i := 1; i < len(dims); i++ {
+		stride[i] = stride[i-1] * dims[i-1]
+	}
+	for id := 0; id < total; id++ {
+		for d, s := range dims {
+			c := (id / stride[d]) % s
+			for c2 := c + 1; c2 < s; c2++ {
+				g.MustAddEdge(id, id+(c2-c)*stride[d])
+			}
+		}
+	}
+	eps := make([]int, total)
+	for i := range eps {
+		eps[i] = i
+	}
+	name := "HyperX("
+	for i, s := range dims {
+		if i > 0 {
+			name += "x"
+		}
+		name += fmt.Sprint(s)
+	}
+	name += fmt.Sprintf(",p=%d)", p)
+	h.initBase(name, g, eps, p)
+	return h, nil
+}
+
+// Coords returns a router's coordinate vector.
+func (h *HyperXND) Coords(router int) []int {
+	out := make([]int, len(h.Dims))
+	for d, s := range h.Dims {
+		out[d] = router % s
+		router /= s
+	}
+	return out
+}

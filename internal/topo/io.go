@@ -1,0 +1,171 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"diam2/internal/graph"
+)
+
+// WriteDOT renders the router-level graph in Graphviz DOT format.
+// Endpoint-attached routers are drawn as boxes labeled with their node
+// count; intermediate routers as circles.
+func WriteDOT(w io.Writer, t Topology) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", t.Name())
+	fmt.Fprintln(bw, "  node [shape=circle];")
+	for r := 0; r < t.Graph().N(); r++ {
+		if n := len(t.RouterNodes(r)); n > 0 {
+			fmt.Fprintf(bw, "  r%d [shape=box,label=\"r%d (%dn)\"];\n", r, r, n)
+		}
+	}
+	for _, e := range t.Graph().Edges() {
+		fmt.Fprintf(bw, "  r%d -- r%d;\n", e[0], e[1])
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteEdgeList serializes a topology as a plain-text edge list that
+// ReadEdgeList can load back:
+//
+//	# comment lines allowed
+//	routers <R>
+//	nodes <router> <count>       (one line per endpoint router)
+//	<u> <v>                      (one line per undirected link)
+func WriteEdgeList(w io.Writer, t Topology) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", t.Name())
+	fmt.Fprintf(bw, "routers %d\n", t.Graph().N())
+	for _, r := range t.EndpointRouters() {
+		fmt.Fprintf(bw, "nodes %d %d\n", r, len(t.RouterNodes(r)))
+	}
+	for _, e := range t.Graph().Edges() {
+		fmt.Fprintf(bw, "%d %d\n", e[0], e[1])
+	}
+	return bw.Flush()
+}
+
+// Custom is a topology loaded from an edge list (or assembled
+// programmatically); it lets the simulator and routing machinery run
+// on arbitrary user-supplied networks.
+type Custom struct {
+	Base
+}
+
+// NewCustom assembles a topology from an explicit graph and endpoint
+// attachment (nodesAt[r] = number of end-nodes on router r; routers
+// with zero entries attach none). Node IDs are assigned contiguously
+// in router order, matching the package's mapping convention.
+func NewCustom(name string, g *graph.Graph, nodesAt map[int]int) (*Custom, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("topo: empty graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("topo: custom topology is disconnected")
+	}
+	var eps []int
+	per := -1
+	total := 0
+	for r := 0; r < g.N(); r++ {
+		c := nodesAt[r]
+		if c < 0 {
+			return nil, fmt.Errorf("topo: negative node count on router %d", r)
+		}
+		if c == 0 {
+			continue
+		}
+		eps = append(eps, r)
+		total += c
+		if per == -1 {
+			per = c
+		} else if per != c {
+			per = -2 // mixed counts
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("topo: no endpoints attached")
+	}
+	c := &Custom{}
+	if per >= 1 {
+		c.initBase(name, g, eps, per)
+		return c, nil
+	}
+	// Mixed per-router counts: attach manually.
+	c.name = name
+	c.g = g
+	c.epRouters = eps
+	c.routerNodes = make([][]int, g.N())
+	c.nodeRouter = make([]int, total)
+	id := 0
+	for _, r := range eps {
+		n := nodesAt[r]
+		nodes := make([]int, n)
+		for k := range nodes {
+			nodes[k] = id
+			c.nodeRouter[id] = r
+			id++
+		}
+		c.routerNodes[r] = nodes
+	}
+	return c, nil
+}
+
+// ReadEdgeList parses the WriteEdgeList format.
+func ReadEdgeList(r io.Reader, name string) (*Custom, error) {
+	sc := bufio.NewScanner(r)
+	var g *graph.Graph
+	nodesAt := map[int]int{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "routers":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topo: line %d: want 'routers <R>'", line)
+			}
+			var n int
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n < 1 {
+				return nil, fmt.Errorf("topo: line %d: bad router count %q", line, fields[1])
+			}
+			g = graph.New(n)
+		case "nodes":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topo: line %d: want 'nodes <router> <count>'", line)
+			}
+			var r, c int
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &r, &c); err != nil {
+				return nil, fmt.Errorf("topo: line %d: bad nodes entry", line)
+			}
+			nodesAt[r] = c
+		default:
+			if g == nil {
+				return nil, fmt.Errorf("topo: line %d: edge before 'routers' header", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topo: line %d: want '<u> <v>'", line)
+			}
+			var u, v int
+			if _, err := fmt.Sscanf(fields[0]+" "+fields[1], "%d %d", &u, &v); err != nil {
+				return nil, fmt.Errorf("topo: line %d: bad edge", line)
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, fmt.Errorf("topo: line %d: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("topo: missing 'routers' header")
+	}
+	return NewCustom(name, g, nodesAt)
+}

@@ -1,0 +1,128 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"diam2/internal/graph"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	orig, err := NewMLFM(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteEdgeList(&b, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadEdgeList(strings.NewReader(b.String()), "mlfm3-copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Graph().N() != orig.Graph().N() {
+		t.Fatalf("routers %d != %d", loaded.Graph().N(), orig.Graph().N())
+	}
+	if loaded.Nodes() != orig.Nodes() {
+		t.Fatalf("nodes %d != %d", loaded.Nodes(), orig.Nodes())
+	}
+	if loaded.Graph().NumEdges() != orig.Graph().NumEdges() {
+		t.Fatalf("edges %d != %d", loaded.Graph().NumEdges(), orig.Graph().NumEdges())
+	}
+	for r := 0; r < orig.Graph().N(); r++ {
+		for _, nb := range orig.Graph().Neighbors(r) {
+			if !loaded.Graph().HasEdge(r, nb) {
+				t.Fatalf("edge (%d,%d) lost", r, nb)
+			}
+		}
+		if len(orig.RouterNodes(r)) != len(loaded.RouterNodes(r)) {
+			t.Fatalf("router %d node count mismatch", r)
+		}
+	}
+	if err := VerifyDiameter(loaded, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	sf, err := NewSlimFly(3, RoundDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDOT(&b, sf); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "graph ") || !strings.Contains(out, " -- ") {
+		t.Errorf("DOT output malformed:\n%.200s", out)
+	}
+	if got := strings.Count(out, " -- "); got != sf.Graph().NumEdges() {
+		t.Errorf("DOT has %d edges, want %d", got, sf.Graph().NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",                               // no header
+		"0 1\nrouters 2",                 // edge before header
+		"routers x",                      // bad count
+		"routers 2\nnodes 0",             // malformed nodes
+		"routers 2\n0 0",                 // self loop
+		"routers 2\n0 5",                 // out of range
+		"routers 3\nnodes 0 1\n0 1",      // disconnected (router 2)
+		"routers 2\n0 1",                 // no endpoints
+		"routers 2\nnodes 0 -1\n0 1",     // negative count
+		"routers 2\nnodes 0 1\n0 1\n0 1", // duplicate edge
+		"routers 2\nnodes 0 1\n0 1 2",    // bad edge arity
+	}
+	for i, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c), "bad"); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, c)
+		}
+	}
+}
+
+func TestNewCustomMixedCounts(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	c, err := NewCustom("line", g, map[int]int{0: 2, 2: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes() != 5 {
+		t.Fatalf("nodes = %d", c.Nodes())
+	}
+	if len(c.RouterNodes(0)) != 2 || len(c.RouterNodes(1)) != 0 || len(c.RouterNodes(2)) != 3 {
+		t.Error("node attachment wrong")
+	}
+	if c.NodeRouter(0) != 0 || c.NodeRouter(4) != 2 {
+		t.Error("NodeRouter wrong")
+	}
+	eps := c.EndpointRouters()
+	if len(eps) != 2 || eps[0] != 0 || eps[1] != 2 {
+		t.Errorf("EndpointRouters = %v", eps)
+	}
+}
+
+func TestCustomCommentsAndBlanks(t *testing.T) {
+	in := `# a triangle
+routers 3
+
+nodes 0 1
+nodes 1 1
+nodes 2 1
+0 1
+# middle comment
+1 2
+0 2
+`
+	c, err := ReadEdgeList(strings.NewReader(in), "triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph().NumEdges() != 3 || c.Nodes() != 3 {
+		t.Errorf("triangle parsed wrong: %d edges, %d nodes", c.Graph().NumEdges(), c.Nodes())
+	}
+}

@@ -1,0 +1,128 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diam2/internal/graph"
+)
+
+// Jellyfish is the random regular-graph topology (Singla et al.),
+// included as the prominent "unstructured" cost-effective rival to
+// the diameter-two designs: same per-endpoint cost when p = r'/2, but
+// diameter typically 3 at comparable sizes and no structural routing.
+// Construction uses the pairing model with retries until the graph is
+// simple, connected and regular.
+type Jellyfish struct {
+	Base
+	R int // routers
+	D int // network degree
+	P int // endpoints per router
+}
+
+// NewJellyfish builds a random d-regular topology on r routers with p
+// endpoints per router. r*d must be even; construction fails after
+// maxTries unsuccessful pairings (degenerate parameter choices).
+func NewJellyfish(r, d, p int, seed int64) (*Jellyfish, error) {
+	switch {
+	case r < 4 || d < 2 || d >= r:
+		return nil, fmt.Errorf("topo: Jellyfish requires 4 <= r, 2 <= d < r; got r=%d d=%d", r, d)
+	case r*d%2 != 0:
+		return nil, fmt.Errorf("topo: Jellyfish requires r*d even; got %d*%d", r, d)
+	case p < 1:
+		return nil, fmt.Errorf("topo: Jellyfish requires p >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const maxTries = 50
+	for try := 0; try < maxTries; try++ {
+		g, ok := incrementalRegular(r, d, rng)
+		if !ok || !g.Connected() {
+			continue
+		}
+		eps := make([]int, r)
+		for i := range eps {
+			eps[i] = i
+		}
+		j := &Jellyfish{R: r, D: d, P: p}
+		j.initBase(fmt.Sprintf("JF(r=%d,d=%d,p=%d)", r, d, p), g, eps, p)
+		return j, nil
+	}
+	return nil, fmt.Errorf("topo: Jellyfish construction failed after %d tries (r=%d d=%d)", maxTries, r, d)
+}
+
+// incrementalRegular builds a random d-regular simple graph with the
+// Jellyfish paper's incremental algorithm: connect random pairs of
+// vertices with free ports; when stuck (the remaining free ports
+// cannot be paired directly), break a random existing edge (a, b) and
+// reconnect it through a stuck vertex u as (u, a), (u, b).
+func incrementalRegular(r, d int, rng *rand.Rand) (*graph.Graph, bool) {
+	g := graph.New(r)
+	free := make([]int, r) // free ports per vertex
+	for v := range free {
+		free[v] = d
+	}
+	vertices := func() []int {
+		var out []int
+		for v, f := range free {
+			if f > 0 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	for guard := 0; guard < 100*r*d; guard++ {
+		vs := vertices()
+		if len(vs) == 0 {
+			return g, true
+		}
+		// Try direct connections first.
+		connected := false
+		for attempt := 0; attempt < 4*len(vs); attempt++ {
+			u := vs[rng.Intn(len(vs))]
+			v := vs[rng.Intn(len(vs))]
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			g.MustAddEdge(u, v)
+			free[u]--
+			free[v]--
+			connected = true
+			break
+		}
+		if connected {
+			continue
+		}
+		// Stuck: edge swap through a vertex with >= 2 free ports (or
+		// any free vertex if exactly one port remains anywhere).
+		u := vs[rng.Intn(len(vs))]
+		edges := g.Edges()
+		if len(edges) == 0 {
+			return nil, false
+		}
+		swapped := false
+		for attempt := 0; attempt < 8*len(edges); attempt++ {
+			e := edges[rng.Intn(len(edges))]
+			a, b := e[0], e[1]
+			if a == u || b == u || g.HasEdge(u, a) || g.HasEdge(u, b) || free[u] < 2 {
+				continue
+			}
+			// Remove (a,b); add (u,a) and (u,b).
+			g2 := graph.New(r)
+			for _, e2 := range edges {
+				if e2 != e {
+					g2.MustAddEdge(e2[0], e2[1])
+				}
+			}
+			g2.MustAddEdge(u, a)
+			g2.MustAddEdge(u, b)
+			g = g2
+			free[u] -= 2
+			swapped = true
+			break
+		}
+		if !swapped {
+			return nil, false
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,153 @@
+package topo
+
+import "testing"
+
+func TestJellyfishConstruction(t *testing.T) {
+	j, err := NewJellyfish(50, 7, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := j.Graph()
+	if g.N() != 50 || j.Nodes() != 150 {
+		t.Errorf("R=%d N=%d", g.N(), j.Nodes())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 7 {
+			t.Fatalf("vertex %d degree %d, want 7", v, g.Degree(v))
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("disconnected")
+	}
+	// Random 7-regular graph on 50 vertices: diameter 3 w.h.p. —
+	// strictly worse than the SF(5) with identical degree/size, which
+	// is the comparison Jellyfish is here for.
+	d, _ := g.Diameter()
+	if d < 3 || d > 4 {
+		t.Errorf("diameter %d, expected 3 (maybe 4)", d)
+	}
+}
+
+func TestJellyfishDeterministicSeed(t *testing.T) {
+	a, err := NewJellyfish(20, 4, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewJellyfish(20, 4, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 20; v++ {
+		na, nb := a.Graph().Neighbors(v), b.Graph().Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatal("seeded construction not deterministic")
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatal("seeded construction not deterministic")
+			}
+		}
+	}
+}
+
+func TestJellyfishValidation(t *testing.T) {
+	if _, err := NewJellyfish(3, 2, 1, 1); err == nil {
+		t.Error("r=3 accepted")
+	}
+	if _, err := NewJellyfish(9, 3, 1, 1); err == nil {
+		t.Error("odd r*d accepted")
+	}
+	if _, err := NewJellyfish(10, 12, 1, 1); err == nil {
+		t.Error("d >= r accepted")
+	}
+	if _, err := NewJellyfish(10, 4, 0, 1); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+// TestJellyfishVsSlimFly: at matched router count, degree and
+// endpoint count, the structured SF achieves diameter 2 where the
+// random graph needs 3 — the Moore-bound argument in action.
+func TestJellyfishVsSlimFly(t *testing.T) {
+	sf, err := NewSlimFly(5, RoundDown) // R=50, degree 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := NewJellyfish(50, 7, sf.P, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSF, _ := sf.Graph().Diameter()
+	dJF, _ := jf.Graph().Diameter()
+	if dSF != 2 {
+		t.Errorf("SF diameter %d", dSF)
+	}
+	if dJF <= dSF {
+		t.Errorf("random graph diameter %d should exceed the Moore-optimal SF's %d", dJF, dSF)
+	}
+}
+
+func TestHyperXND(t *testing.T) {
+	h, err := NewHyperXND([]int{3, 4, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := h.Graph()
+	if g.N() != 24 || h.Nodes() != 48 {
+		t.Errorf("R=%d N=%d, want 24/48", g.N(), h.Nodes())
+	}
+	// Degree = sum of (s_d - 1) = 2 + 3 + 1 = 6.
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("vertex %d degree %d, want 6", v, g.Degree(v))
+		}
+	}
+	// Diameter = number of dimensions.
+	d, ok := g.Diameter()
+	if !ok || d != 3 {
+		t.Errorf("diameter = %d, want 3", d)
+	}
+	// Coordinates round-trip and adjacency = differ in one coordinate.
+	for u := 0; u < g.N(); u++ {
+		cu := h.Coords(u)
+		for _, v := range g.Neighbors(u) {
+			cv := h.Coords(v)
+			diff := 0
+			for i := range cu {
+				if cu[i] != cv[i] {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("neighbors %d,%d differ in %d coordinates", u, v, diff)
+			}
+		}
+	}
+	if _, err := NewHyperXND([]int{1, 3}, 1); err == nil {
+		t.Error("dimension of size 1 accepted")
+	}
+	if _, err := NewHyperXND(nil, 1); err == nil {
+		t.Error("no dimensions accepted")
+	}
+}
+
+// TestHyperXND2DMatches2D: the 2-D instance coincides with the
+// dedicated diameter-two HyperX2D construction.
+func TestHyperXND2DMatches2D(t *testing.T) {
+	nd, err := NewHyperXND([]int{4, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewHyperX2D(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Graph().NumEdges() != d2.Graph().NumEdges() || nd.Nodes() != d2.Nodes() {
+		t.Errorf("2-D HyperX variants differ: %d/%d edges, %d/%d nodes",
+			nd.Graph().NumEdges(), d2.Graph().NumEdges(), nd.Nodes(), d2.Nodes())
+	}
+	dd, _ := nd.Graph().Diameter()
+	if dd != 2 {
+		t.Errorf("2-D instance diameter %d", dd)
+	}
+}

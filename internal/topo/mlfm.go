@@ -1,0 +1,79 @@
+package topo
+
+import (
+	"fmt"
+
+	"diam2/internal/core"
+	"diam2/internal/graph"
+)
+
+// MLFM is the h-Multi-Layer Full-Mesh (Section 2.2.3): h layers of
+// h+1 local routers (LRs) each, stacked through h*(h+1)/2 global
+// routers (GRs), one per unordered pair of LR column indices. Each LR
+// attaches p = h end-nodes; all routers have radix 2h.
+//
+// Router indexing: LR (layer, idx) -> layer*(h+1) + idx for layer in
+// [0,h); GRs follow, indexed by core.PairIndex over column indices.
+// Node IDs run in LR order, which realizes the paper's contiguous
+// mapping (intra-router, intra-layer, inter-layer).
+type MLFM struct {
+	Base
+	H       int
+	Stacked *core.Stacked
+}
+
+// NewMLFM builds the h-MLFM for h >= 2.
+func NewMLFM(h int) (*MLFM, error) {
+	if h < 2 {
+		return nil, fmt.Errorf("topo: MLFM requires h >= 2, got %d", h)
+	}
+	pat, err := core.FullMeshPattern(h)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.Stack(pat, h)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(st.Routers())
+	for _, l := range st.Links() {
+		g.MustAddEdge(l[0], l[1])
+	}
+	eps := make([]int, st.LowerRouters())
+	for i := range eps {
+		eps[i] = i
+	}
+	m := &MLFM{H: h, Stacked: st}
+	m.initBase(fmt.Sprintf("MLFM(h=%d)", h), g, eps, h)
+	return m, nil
+}
+
+// LocalRouter returns the router index of the idx-th LR of a layer.
+func (m *MLFM) LocalRouter(layer, idx int) int { return m.Stacked.LowerID(layer, idx) }
+
+// GlobalRouter returns the router index of the GR joining LR columns
+// a and b (a != b).
+func (m *MLFM) GlobalRouter(a, b int) int {
+	return m.Stacked.UpperID(core.PairIndex(a, b, m.H+1))
+}
+
+// Column returns the intra-layer index (column) of an LR, or -1 for a GR.
+func (m *MLFM) Column(router int) int {
+	if router >= m.Stacked.LowerRouters() {
+		return -1
+	}
+	return router % (m.H + 1)
+}
+
+// Layer returns the layer of an LR, or -1 for a GR.
+func (m *MLFM) Layer(router int) int {
+	if router >= m.Stacked.LowerRouters() {
+		return -1
+	}
+	return router / (m.H + 1)
+}
+
+// WorstCaseShift returns the endpoint-router shift that realizes the
+// minimal-routing worst case of Section 4.2 (offset h: every shifted
+// pair lands in a different column, leaving a single minimal path).
+func (m *MLFM) WorstCaseShift() int { return m.H }

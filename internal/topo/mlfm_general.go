@@ -1,0 +1,72 @@
+package topo
+
+import (
+	"fmt"
+
+	"diam2/internal/core"
+	"diam2/internal/graph"
+)
+
+// MLFMGeneral is the full (h, l, p)-MLFM of Section 2.2.3 before the
+// identical-radix specialization: l layers of h+1 local routers each,
+// p endpoints per local router, and h*(h+1)/2 global routers of radix
+// 2l joining the layers (local routers have radix h+p). The h-MLFM
+// (topo.MLFM) is the h = l = p member that can be built from a single
+// router part.
+type MLFMGeneral struct {
+	Base
+	H, L, P int
+}
+
+// NewMLFMGeneral builds the (h, l, p)-MLFM.
+func NewMLFMGeneral(h, l, p int) (*MLFMGeneral, error) {
+	if h < 2 || l < 1 || p < 1 {
+		return nil, fmt.Errorf("topo: MLFM requires h >= 2, l >= 1, p >= 1; got (%d,%d,%d)", h, l, p)
+	}
+	lrs := l * (h + 1)
+	grs := h * (h + 1) / 2
+	g := graph.New(lrs + grs)
+	gr := func(a, b int) int { return lrs + core.PairIndex(a, b, h+1) }
+	for layer := 0; layer < l; layer++ {
+		for a := 0; a <= h; a++ {
+			for b := a + 1; b <= h; b++ {
+				g.MustAddEdge(layer*(h+1)+a, gr(a, b))
+				g.MustAddEdge(layer*(h+1)+b, gr(a, b))
+			}
+		}
+	}
+	eps := make([]int, lrs)
+	for i := range eps {
+		eps[i] = i
+	}
+	m := &MLFMGeneral{H: h, L: l, P: p}
+	m.initBase(fmt.Sprintf("MLFM(h=%d,l=%d,p=%d)", h, l, p), g, eps, p)
+	return m, nil
+}
+
+// Column returns the intra-layer index of a local router, -1 for
+// global routers.
+func (m *MLFMGeneral) Column(router int) int {
+	if router >= m.L*(m.H+1) {
+		return -1
+	}
+	return router % (m.H + 1)
+}
+
+// Layer returns the layer of a local router, -1 for global routers.
+func (m *MLFMGeneral) Layer(router int) int {
+	if router >= m.L*(m.H+1) {
+		return -1
+	}
+	return router / (m.H + 1)
+}
+
+// LocalRadix returns h + p, the local-router radix.
+func (m *MLFMGeneral) LocalRadix() int { return m.H + m.P }
+
+// GlobalRadix returns 2l, the global-router radix.
+func (m *MLFMGeneral) GlobalRadix() int { return 2 * m.L }
+
+// WorstCaseShift returns the adversarial endpoint-router shift
+// (offset h, as for the uniform-radix MLFM).
+func (m *MLFMGeneral) WorstCaseShift() int { return m.H }

@@ -1,0 +1,27 @@
+package topo
+
+// MooreBound returns the Moore bound: the maximum number of vertices
+// a graph of the given maximum degree and diameter can have,
+// 1 + d * sum_{i=0}^{k-1} (d-1)^i. The Slim Fly's MMS graphs
+// approach 8/9 of it asymptotically (Section 2.1.2).
+func MooreBound(degree, diameter int) int {
+	if degree <= 0 || diameter < 0 {
+		return 1
+	}
+	bound := 1
+	term := degree
+	for i := 0; i < diameter; i++ {
+		bound += term
+		term *= degree - 1
+	}
+	return bound
+}
+
+// MooreFraction returns the ratio of a topology's router count to the
+// Moore bound at its network degree and endpoint-router diameter 2 —
+// the scalability-optimality metric the Slim Fly is designed around.
+func MooreFraction(t Topology) float64 {
+	g := t.Graph()
+	deg := g.MaxDegree()
+	return float64(g.N()) / float64(MooreBound(deg, 2))
+}

@@ -1,0 +1,64 @@
+package topo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMooreBound(t *testing.T) {
+	cases := []struct{ d, k, want int }{
+		{3, 2, 10}, // Petersen graph meets it
+		{7, 2, 50}, // Hoffman-Singleton graph meets it
+		{57, 2, 3250},
+		{3, 0, 1},
+		{0, 2, 1},
+		{4, 1, 5}, // complete graph K5
+		{2, 3, 7}, // cycle C7
+	}
+	for _, c := range cases {
+		if got := MooreBound(c.d, c.k); got != c.want {
+			t.Errorf("MooreBound(%d,%d) = %d, want %d", c.d, c.k, got, c.want)
+		}
+	}
+}
+
+// TestSlimFlyMooreFraction checks the Section 2.1.2 claim: the SF
+// reaches approximately 88% of the Moore bound (8/9 asymptotically;
+// slightly higher at small q).
+func TestSlimFlyMooreFraction(t *testing.T) {
+	for _, q := range []int{5, 9, 13} {
+		sf, err := NewSlimFly(q, RoundDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := MooreFraction(sf)
+		if frac < 0.85 || frac > 1.0 {
+			t.Errorf("q=%d: Moore fraction %.3f outside (0.85, 1]", q, frac)
+		}
+	}
+	// Asymptotic check: large q approaches 8/9.
+	sf, err := NewSlimFly(25, RoundDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := MooreFraction(sf); math.Abs(frac-8.0/9.0) > 0.05 {
+		t.Errorf("q=25: Moore fraction %.4f, want ~0.889", frac)
+	}
+}
+
+// TestMooreFractionOrdering: among direct diameter-two topologies the
+// SF dominates the 2-D HyperX (the paper's 27/8 scaling argument).
+func TestMooreFractionOrdering(t *testing.T) {
+	sf, err := NewSlimFly(9, RoundDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hx, err := NewHyperX2D(10, 9) // comparable network degree (18 vs 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, fh := MooreFraction(sf), MooreFraction(hx)
+	if fs <= fh {
+		t.Errorf("SF Moore fraction %.3f should exceed HyperX %.3f", fs, fh)
+	}
+}

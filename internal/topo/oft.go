@@ -1,0 +1,89 @@
+package topo
+
+import (
+	"fmt"
+
+	"diam2/internal/core"
+	"diam2/internal/graph"
+)
+
+// OFT is the two-level k-Orthogonal Fat-Tree (Section 2.2.4): a
+// three-layer indirect network made of two SPT(k,k) trees (lower
+// layers L0 and L2) sharing a common upper layer L1, with the
+// interconnection pattern given by the k-ML3B. Each of the RL =
+// 1 + k(k-1) routers of L0 and L2 attaches p = k end-nodes; all
+// routers have radix 2k.
+//
+// Router indexing: L0 routers are 0..RL-1, L2 routers RL..2RL-1
+// (these are the two stacked copies), L1 routers 2RL..3RL-1. Node IDs
+// run in (L0, L2) router order, realizing the paper's contiguous
+// mapping.
+type OFT struct {
+	Base
+	K       int
+	RL      int
+	Stacked *core.Stacked
+}
+
+// NewOFT builds the two-level k-OFT; k-1 must be prime (k = 2 is also
+// accepted as the degenerate case).
+func NewOFT(k int) (*OFT, error) {
+	pat, err := core.ML3BPattern(k)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.Stack(pat, 2)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(st.Routers())
+	for _, l := range st.Links() {
+		g.MustAddEdge(l[0], l[1])
+	}
+	eps := make([]int, st.LowerRouters())
+	for i := range eps {
+		eps[i] = i
+	}
+	o := &OFT{K: k, RL: pat.R1, Stacked: st}
+	o.initBase(fmt.Sprintf("OFT(k=%d)", k), g, eps, k)
+	return o, nil
+}
+
+// L0Router returns the router index of the i-th L0 router.
+func (o *OFT) L0Router(i int) int { return i }
+
+// L2Router returns the router index of the i-th L2 router.
+func (o *OFT) L2Router(i int) int { return o.RL + i }
+
+// L1Router returns the router index of the j-th L1 router.
+func (o *OFT) L1Router(j int) int { return 2*o.RL + j }
+
+// Level returns 0, 1 or 2 for the router's layer.
+func (o *OFT) Level(router int) int {
+	switch {
+	case router < o.RL:
+		return 0
+	case router < 2*o.RL:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Counterpart returns the symmetric router in the other stacked copy
+// ((0,i) <-> (2,i)); L1 routers map to themselves.
+func (o *OFT) Counterpart(router int) int {
+	switch {
+	case router < o.RL:
+		return router + o.RL
+	case router < 2*o.RL:
+		return router - o.RL
+	default:
+		return router
+	}
+}
+
+// WorstCaseShift returns the endpoint-router shift realizing the
+// minimal-routing worst case of Section 4.2 (offset k: shifted pairs
+// are never symmetric counterparts, leaving a single minimal path).
+func (o *OFT) WorstCaseShift() int { return o.K }

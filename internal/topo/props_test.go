@@ -1,0 +1,116 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property-based construction invariants over randomized parameters.
+
+func TestQuickMLFMInvariants(t *testing.T) {
+	prop := func(raw uint8) bool {
+		h := int(raw)%7 + 2 // 2..8
+		m, err := NewMLFM(h)
+		if err != nil {
+			return false
+		}
+		if m.Graph().N() != 3*h*(h+1)/2 || m.Nodes() != h*h*h+h*h {
+			return false
+		}
+		if err := VerifyDiameter(m, 2); err != nil {
+			return false
+		}
+		c := CostOf(m)
+		return c.PortsPerNode == 3 && c.LinksPerNode == 2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOFTInvariants(t *testing.T) {
+	ks := []int{2, 3, 4, 6, 8}
+	prop := func(raw uint8) bool {
+		k := ks[int(raw)%len(ks)]
+		o, err := NewOFT(k)
+		if err != nil {
+			return false
+		}
+		if o.Graph().N() != 3*k*k-3*k+3 || o.Nodes() != 2*k*k*k-2*k*k+2*k {
+			return false
+		}
+		if err := VerifyDiameter(o, 2); err != nil {
+			return false
+		}
+		// Every endpoint-router pair has >= 1 common L1 neighbor and
+		// counterparts have exactly k.
+		g := o.Graph()
+		for _, i := range []int{0, o.RL / 2, o.RL - 1} {
+			u := o.L0Router(i)
+			if got := len(g.CommonNeighbors(u, o.Counterpart(u))); got != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSlimFlyInvariants(t *testing.T) {
+	qs := []int{3, 4, 5, 7, 8, 9}
+	prop := func(raw uint8) bool {
+		q := qs[int(raw)%len(qs)]
+		sf, err := NewSlimFly(q, Rounding(int(raw/16)%2))
+		if err != nil {
+			return false
+		}
+		if sf.Graph().N() != 2*q*q {
+			return false
+		}
+		if err := VerifyDiameter(sf, 2); err != nil {
+			return false
+		}
+		// Uniform network radix r' = (3q-delta)/2.
+		g := sf.Graph()
+		for r := 0; r < g.N(); r++ {
+			if g.Degree(r) != sf.NetworkRadix() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDegradeKeepsReachability: removing a random existing link
+// from an MLFM either errors (disconnection, never for a single GR
+// link with h >= 3) or leaves all endpoint routers within 4 hops.
+func TestQuickDegradeKeepsReachability(t *testing.T) {
+	m, err := NewMLFM(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := m.Graph().Edges()
+	prop := func(raw uint16) bool {
+		e := edges[int(raw)%len(edges)]
+		d, err := Degrade(m, [][2]int{e})
+		if err != nil {
+			return false
+		}
+		g := d.Graph()
+		dist := g.BFS(d.EndpointRouters()[0])
+		for _, ep := range d.EndpointRouters() {
+			if dist[ep] < 0 || dist[ep] > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

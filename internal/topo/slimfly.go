@@ -1,0 +1,188 @@
+package topo
+
+import (
+	"fmt"
+
+	"diam2/internal/galois"
+	"diam2/internal/graph"
+)
+
+// SlimFly is the diameter-two Slim Fly of Besta and Hoefler (MMS
+// graph, Section 2.1.2). Routers are arranged in two subgraphs of
+// q x q routers each; (s, x, y) denotes the router in column x, row y
+// of subgraph s. Subgraph 0 routers connect within their column when
+// the row difference lies in the generator set X; subgraph 1 routers
+// likewise with X'; and (0, x, y) connects to (1, m, c) when
+// y = m*x + c over GF(q).
+type SlimFly struct {
+	Base
+	Q     int // prime power, q = 4w + delta
+	W     int
+	Delta int // -1, 0 or +1
+	P     int // endpoints per router
+	F     *galois.Field
+	X     []int // generator set for subgraph 0 (symmetric)
+	XP    []int // generator set X' for subgraph 1 (symmetric)
+}
+
+// RoundDown selects p = floor(r'/2); RoundUp selects p = ceil(r'/2).
+// The paper evaluates both choices (Section 2.1.2).
+type Rounding int
+
+// Rounding choices for the Slim Fly endpoint count.
+const (
+	RoundDown Rounding = iota
+	RoundUp
+)
+
+// SlimFlyDelta returns w and delta such that q = 4w + delta with
+// delta in {-1, 0, 1}, or an error if q has no such form.
+func SlimFlyDelta(q int) (w, delta int, err error) {
+	switch q % 4 {
+	case 0:
+		return q / 4, 0, nil
+	case 1:
+		return (q - 1) / 4, 1, nil
+	case 3:
+		return (q + 1) / 4, -1, nil
+	}
+	return 0, 0, fmt.Errorf("topo: q = %d is not of the form 4w+delta, delta in {-1,0,1}", q)
+}
+
+// NewSlimFly builds the Slim Fly for prime power q = 4w + delta. The
+// rounding argument chooses between p = floor(r'/2) and ceil(r'/2)
+// endpoints per router, where r' = (3q-delta)/2 is the network radix.
+func NewSlimFly(q int, rounding Rounding) (*SlimFly, error) {
+	if !galois.IsPrimePower(q) {
+		return nil, fmt.Errorf("topo: Slim Fly requires a prime power q, got %d", q)
+	}
+	w, delta, err := SlimFlyDelta(q)
+	if err != nil {
+		return nil, err
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("topo: Slim Fly requires q >= 3, got %d", q)
+	}
+	f := galois.MustNew(q)
+	x, xp := slimFlyGenerators(f, w, delta)
+
+	sf := &SlimFly{Q: q, W: w, Delta: delta, F: f, X: x, XP: xp}
+	rp := (3*q - delta) / 2
+	switch rounding {
+	case RoundDown:
+		sf.P = rp / 2
+	case RoundUp:
+		sf.P = (rp + 1) / 2
+	default:
+		return nil, fmt.Errorf("topo: unknown rounding %d", rounding)
+	}
+
+	g := graph.New(2 * q * q)
+	// Intra-subgraph (column) links.
+	addColumn := func(s int, gen []int) {
+		for col := 0; col < q; col++ {
+			for y := 0; y < q; y++ {
+				for _, d := range gen {
+					yp := f.Add(y, d)
+					u := sf.RouterID(s, col, y)
+					v := sf.RouterID(s, col, yp)
+					if u < v { // each pair appears twice (d and -d); add once
+						g.MustAddEdge(u, v)
+					}
+				}
+			}
+		}
+	}
+	addColumn(0, x)
+	addColumn(1, xp)
+	// Inter-subgraph links: (0, x, y) ~ (1, m, c) iff y = m*x + c.
+	for xx := 0; xx < q; xx++ {
+		for m := 0; m < q; m++ {
+			for c := 0; c < q; c++ {
+				y := f.Add(f.Mul(m, xx), c)
+				g.MustAddEdge(sf.RouterID(0, xx, y), sf.RouterID(1, m, c))
+			}
+		}
+	}
+
+	eps := make([]int, 2*q*q)
+	for i := range eps {
+		eps[i] = i
+	}
+	name := fmt.Sprintf("SF(q=%d,p=%d)", q, sf.P)
+	sf.initBase(name, g, eps, sf.P)
+	return sf, nil
+}
+
+// slimFlyGenerators derives the symmetric generator sets X and X' of
+// the MMS construction (Section 2.1.2, after Besta and Hoefler). With
+// xi a primitive element of GF(q):
+//
+//	delta = +1: X = {xi^0, xi^2, ..., xi^(q-3)},
+//	            X' = {xi^1, xi^3, ..., xi^(q-2)}           (disjoint)
+//	delta =  0: X = {xi^0, xi^2, ..., xi^(q-2)},
+//	            X' = {xi^1, xi^3, ..., xi^(q-1)}           (xi^(q-1) = 1,
+//	            so the sets share the element 1; char 2 makes both
+//	            trivially symmetric)
+//	delta = -1: X  = {xi^0, xi^2, ..., xi^(2w-2)} union
+//	                 {xi^(2w-1), xi^(2w+1), ..., xi^(4w-3)},
+//	            X' = {xi^1, xi^3, ..., xi^(2w-1)} union
+//	                 {xi^(2w), xi^(2w+2), ..., xi^(4w-2)}
+//	            (symmetric since -1 = xi^(2w-1); the sets share 1 and
+//	            -1)
+//
+// In every case |X| = |X'| = (q-delta)/2, giving the uniform network
+// radix r' = q + |X| = (3q-delta)/2.
+func slimFlyGenerators(f *galois.Field, w, delta int) (x, xp []int) {
+	q := f.Order()
+	switch delta {
+	case 1:
+		for i := 0; i <= q-3; i += 2 {
+			x = append(x, f.Exp(i))
+		}
+		for i := 1; i <= q-2; i += 2 {
+			xp = append(xp, f.Exp(i))
+		}
+	case 0:
+		for i := 0; i <= q-2; i += 2 {
+			x = append(x, f.Exp(i))
+		}
+		for i := 1; i <= q-1; i += 2 {
+			xp = append(xp, f.Exp(i))
+		}
+	case -1:
+		for i := 0; i <= 2*w-2; i += 2 {
+			x = append(x, f.Exp(i))
+		}
+		for i := 2*w - 1; i <= 4*w-3; i += 2 {
+			x = append(x, f.Exp(i))
+		}
+		for i := 1; i <= 2*w-1; i += 2 {
+			xp = append(xp, f.Exp(i))
+		}
+		for i := 2 * w; i <= 4*w-2; i += 2 {
+			xp = append(xp, f.Exp(i))
+		}
+	}
+	return x, xp
+}
+
+// RouterID maps (subgraph, column, row) to a dense router index. The
+// ordering (s, column, row) realizes the paper's contiguous node
+// ordering: intra-router, then intra-column, then subgraph.
+func (sf *SlimFly) RouterID(s, col, row int) int {
+	return (s*sf.Q+col)*sf.Q + row
+}
+
+// RouterCoords is the inverse of RouterID.
+func (sf *SlimFly) RouterCoords(id int) (s, col, row int) {
+	row = id % sf.Q
+	id /= sf.Q
+	col = id % sf.Q
+	s = id / sf.Q
+	return s, col, row
+}
+
+// NetworkRadix returns r' = (3q - delta)/2, the uniform
+// router-to-router degree.
+func (sf *SlimFly) NetworkRadix() int { return (3*sf.Q - sf.Delta) / 2 }

@@ -1,0 +1,236 @@
+package topo
+
+import (
+	"testing"
+)
+
+// slimFlyQs covers all three delta classes, including prime-power
+// (non-prime) orders.
+var slimFlyQs = []int{3, 4, 5, 7, 8, 9, 11, 13}
+
+func TestSlimFlyConstruction(t *testing.T) {
+	for _, q := range slimFlyQs {
+		sf, err := NewSlimFly(q, RoundDown)
+		if err != nil {
+			t.Fatalf("NewSlimFly(%d): %v", q, err)
+		}
+		g := sf.Graph()
+		if g.N() != 2*q*q {
+			t.Errorf("q=%d: R = %d, want %d", q, g.N(), 2*q*q)
+		}
+		if err := VerifyDiameter(sf, 2); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+		// Degree check: subgraph 0 routers have q + |X| links,
+		// subgraph 1 routers q + |X'|.
+		for s := 0; s < 2; s++ {
+			want := q + len(sf.X)
+			if s == 1 {
+				want = q + len(sf.XP)
+			}
+			for col := 0; col < q; col++ {
+				for row := 0; row < q; row++ {
+					id := sf.RouterID(s, col, row)
+					if d := g.Degree(id); d != want {
+						t.Fatalf("q=%d: router (%d,%d,%d) degree %d, want %d", q, s, col, row, d, want)
+					}
+				}
+			}
+		}
+		// Network radix r' = (3q - delta)/2 equals subgraph-0 degree.
+		if got := q + len(sf.X); got != sf.NetworkRadix() {
+			t.Errorf("q=%d: subgraph-0 degree %d != network radix %d", q, got, sf.NetworkRadix())
+		}
+	}
+}
+
+func TestSlimFlyGeneratorSetsSymmetric(t *testing.T) {
+	for _, q := range slimFlyQs {
+		sf, err := NewSlimFly(q, RoundDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inSet := func(set []int, v int) bool {
+			for _, x := range set {
+				if x == v {
+					return true
+				}
+			}
+			return false
+		}
+		for _, x := range sf.X {
+			if x == 0 {
+				t.Fatalf("q=%d: X contains 0", q)
+			}
+			if !inSet(sf.X, sf.F.Neg(x)) {
+				t.Fatalf("q=%d: X not symmetric: -%d missing", q, x)
+			}
+		}
+		for _, x := range sf.XP {
+			if x == 0 {
+				t.Fatalf("q=%d: X' contains 0", q)
+			}
+			if !inSet(sf.XP, sf.F.Neg(x)) {
+				t.Fatalf("q=%d: X' not symmetric: -%d missing", q, x)
+			}
+		}
+		// For delta = +1 the sets are disjoint; for delta = 0 and -1
+		// the MMS construction overlaps them in exactly {1} and
+		// {1, -1} respectively. In all cases X and X' jointly cover
+		// every nonzero field element (needed for the inter-subgraph
+		// distance-2 argument).
+		overlap := 0
+		for _, x := range sf.X {
+			if inSet(sf.XP, x) {
+				overlap++
+				if x != 1 && x != sf.F.Neg(1) {
+					t.Fatalf("q=%d: unexpected overlap element %d", q, x)
+				}
+			}
+		}
+		wantOverlap := map[int]int{1: 0, 0: 1, -1: 2}[sf.Delta]
+		if overlap != wantOverlap {
+			t.Errorf("q=%d: |X intersect X'| = %d, want %d", q, overlap, wantOverlap)
+		}
+		covered := make(map[int]bool)
+		for _, x := range sf.X {
+			covered[x] = true
+		}
+		for _, x := range sf.XP {
+			covered[x] = true
+		}
+		if len(covered) != q-1 {
+			t.Errorf("q=%d: X union X' covers %d elements, want %d", q, len(covered), q-1)
+		}
+		if got, want := len(sf.X), (q-sf.Delta)/2; got != want {
+			t.Errorf("q=%d: |X| = %d, want %d", q, got, want)
+		}
+		if got, want := len(sf.XP), (q-sf.Delta)/2; got != want {
+			t.Errorf("q=%d: |X'| = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestSlimFlyPaperConfig(t *testing.T) {
+	down, err := NewSlimFly(13, RoundDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Nodes() != 3042 || down.Graph().N() != 338 || down.Radix() != 28 || down.P != 9 {
+		t.Errorf("SF(13,down): N=%d R=%d r=%d p=%d, want 3042/338/28/9",
+			down.Nodes(), down.Graph().N(), down.Radix(), down.P)
+	}
+	up, err := NewSlimFly(13, RoundUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Nodes() != 3380 || up.Graph().N() != 338 || up.Radix() != 29 || up.P != 10 {
+		t.Errorf("SF(13,up): N=%d R=%d r=%d p=%d, want 3380/338/29/10",
+			up.Nodes(), up.Graph().N(), up.Radix(), up.P)
+	}
+	// Cost per endpoint from Section 2.1.2: q=13, p=10 -> 2.9 ports,
+	// 1.95 links; p=9 -> 3.11 ports, 2.05 links.
+	cUp := CostOf(up)
+	if cUp.PortsPerNode < 2.89 || cUp.PortsPerNode > 2.91 {
+		t.Errorf("SF(13,up) ports/node = %v, want ~2.9", cUp.PortsPerNode)
+	}
+	if cUp.LinksPerNode < 1.94 || cUp.LinksPerNode > 1.96 {
+		t.Errorf("SF(13,up) links/node = %v, want ~1.95", cUp.LinksPerNode)
+	}
+	cDown := CostOf(down)
+	if cDown.PortsPerNode < 3.10 || cDown.PortsPerNode > 3.12 {
+		t.Errorf("SF(13,down) ports/node = %v, want ~3.11", cDown.PortsPerNode)
+	}
+	if cDown.LinksPerNode < 2.04 || cDown.LinksPerNode > 2.06 {
+		t.Errorf("SF(13,down) links/node = %v, want ~2.05", cDown.LinksPerNode)
+	}
+}
+
+func TestSlimFlyRouterIDRoundTrip(t *testing.T) {
+	sf, _ := NewSlimFly(5, RoundDown)
+	for id := 0; id < sf.Graph().N(); id++ {
+		s, c, r := sf.RouterCoords(id)
+		if sf.RouterID(s, c, r) != id {
+			t.Fatalf("RouterCoords/RouterID mismatch at %d", id)
+		}
+	}
+}
+
+func TestSlimFlyRejectsBadQ(t *testing.T) {
+	for _, q := range []int{0, 1, 2, 6, 10, 12, 14} {
+		if _, err := NewSlimFly(q, RoundDown); err == nil {
+			t.Errorf("NewSlimFly(%d) accepted", q)
+		}
+	}
+}
+
+// TestSlimFlyPathDiversityQ23 checks the Section 2.3.3 statistics: for
+// q = 23 the average number of minimal paths between non-adjacent
+// router pairs is ~1.1 and the maximum is 8.
+func TestSlimFlyPathDiversityQ23(t *testing.T) {
+	if testing.Short() {
+		t.Skip("q=23 diversity scan is slow")
+	}
+	sf, err := NewSlimFly(23, RoundDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sf.Graph().PathDiversityAtDistance(2, nil)
+	if st.Mean < 1.05 || st.Mean > 1.15 {
+		t.Errorf("q=23 mean diversity = %v, want ~1.1", st.Mean)
+	}
+	if st.Max != 8 {
+		t.Errorf("q=23 max diversity = %d, want 8", st.Max)
+	}
+}
+
+func TestSlimFlyNodeAttachment(t *testing.T) {
+	sf, _ := NewSlimFly(5, RoundUp)
+	if len(sf.EndpointRouters()) != sf.Graph().N() {
+		t.Fatal("direct topology must attach nodes to every router")
+	}
+	for n := 0; n < sf.Nodes(); n++ {
+		r := sf.NodeRouter(n)
+		found := false
+		for _, m := range sf.RouterNodes(r) {
+			if m == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d not in RouterNodes(%d)", n, r)
+		}
+	}
+	// Contiguous ordering: nodes of router r are exactly [r*p, (r+1)*p).
+	for r := 0; r < sf.Graph().N(); r++ {
+		nodes := sf.RouterNodes(r)
+		for i, n := range nodes {
+			if n != r*sf.P+i {
+				t.Fatalf("router %d node %d = %d, want %d", r, i, n, r*sf.P+i)
+			}
+		}
+	}
+}
+
+// TestSlimFlyGirth: for q = 4w+1 the MMS graphs contain no triangles
+// or quadrilaterals through distinct subgraphs... concretely, the
+// q=5 MMS graph (Hoffman-Singleton relative) has girth 5, and the
+// SSPTs, being bipartite-like two-level structures, have girth 4
+// wherever multi-path pairs exist.
+func TestSlimFlyGirth(t *testing.T) {
+	sf, err := NewSlimFly(5, RoundDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := sf.Graph().Girth(); g != 5 {
+		t.Errorf("SF(5) girth = %d, want 5", g)
+	}
+	m, _ := NewMLFM(3)
+	if g := m.Graph().Girth(); g != 4 {
+		t.Errorf("MLFM girth = %d, want 4 (same-column multi-paths)", g)
+	}
+	o, _ := NewOFT(3)
+	if g := o.Graph().Girth(); g != 4 {
+		t.Errorf("OFT girth = %d, want 4 (counterpart multi-paths)", g)
+	}
+}

@@ -1,0 +1,161 @@
+// Package topo constructs the diameter-two topologies evaluated in the
+// paper — Slim Fly, Multi-Layer Full-Mesh and two-level Orthogonal
+// Fat-Tree — together with the comparison baselines (two-dimensional
+// HyperX and two-/three-level Fat-Trees). Each topology exposes a
+// router-level graph, its endpoint attachment, and the cost metrics of
+// Section 2.3 (Fig. 3).
+//
+// Node ordering follows the paper's contiguous-mapping convention
+// (Section 4.4): nodes are consecutive first at the intra-router
+// level, then at the intra-column (Slim Fly) / intra-layer (MLFM, OFT)
+// level, and finally at the subgraph / inter-layer level. Constructors
+// therefore order routers accordingly and attach node IDs in router
+// order.
+package topo
+
+import (
+	"fmt"
+
+	"diam2/internal/graph"
+)
+
+// Topology is a network of routers with attached end-nodes.
+type Topology interface {
+	// Name identifies the instance, e.g. "SF(q=13,p=9)".
+	Name() string
+	// Graph returns the router-level graph. Callers must not modify it.
+	Graph() *graph.Graph
+	// Nodes returns the number of end-nodes N.
+	Nodes() int
+	// NodeRouter returns the router a node is attached to.
+	NodeRouter(node int) int
+	// RouterNodes returns the nodes attached to router r (may be empty).
+	RouterNodes(r int) []int
+	// EndpointRouters returns the routers that have end-nodes attached,
+	// in node order. For direct topologies this is all routers.
+	EndpointRouters() []int
+	// Radix returns the maximum physical router radix (network ports
+	// plus endpoint ports).
+	Radix() int
+}
+
+// Base provides the common Topology plumbing; concrete topologies
+// embed it.
+type Base struct {
+	name        string
+	g           *graph.Graph
+	nodeRouter  []int
+	routerNodes [][]int
+	epRouters   []int
+}
+
+// initBase wires the graph and attaches perRouter nodes to each router
+// listed in endpointRouters (in order), assigning node IDs
+// consecutively.
+func (b *Base) initBase(name string, g *graph.Graph, endpointRouters []int, perRouter int) {
+	b.name = name
+	b.g = g
+	b.epRouters = endpointRouters
+	b.routerNodes = make([][]int, g.N())
+	n := len(endpointRouters) * perRouter
+	b.nodeRouter = make([]int, n)
+	id := 0
+	for _, r := range endpointRouters {
+		nodes := make([]int, perRouter)
+		for k := range nodes {
+			nodes[k] = id
+			b.nodeRouter[id] = r
+			id++
+		}
+		b.routerNodes[r] = nodes
+	}
+}
+
+// Name implements Topology.
+func (b *Base) Name() string { return b.name }
+
+// Graph implements Topology.
+func (b *Base) Graph() *graph.Graph { return b.g }
+
+// Nodes implements Topology.
+func (b *Base) Nodes() int { return len(b.nodeRouter) }
+
+// NodeRouter implements Topology.
+func (b *Base) NodeRouter(node int) int { return b.nodeRouter[node] }
+
+// RouterNodes implements Topology.
+func (b *Base) RouterNodes(r int) []int { return b.routerNodes[r] }
+
+// EndpointRouters implements Topology.
+func (b *Base) EndpointRouters() []int { return b.epRouters }
+
+// Radix implements Topology: the maximum over routers of network
+// degree plus attached endpoints.
+func (b *Base) Radix() int {
+	max := 0
+	for r := 0; r < b.g.N(); r++ {
+		d := b.g.Degree(r) + len(b.routerNodes[r])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Cost summarizes the whole-network cost metrics used in Fig. 3.
+type Cost struct {
+	Nodes        int     // N
+	Routers      int     // R
+	Ports        int     // Np: total router ports (network + endpoint)
+	Links        int     // Nl: total links (router-router + endpoint)
+	PortsPerNode float64 // Np / N
+	LinksPerNode float64 // Nl / N
+}
+
+// CostOf computes the cost metrics for any topology.
+func CostOf(t Topology) Cost {
+	g := t.Graph()
+	n := t.Nodes()
+	routerLinks := g.NumEdges()
+	ports := 2*routerLinks + n // each router-router link uses 2 ports; each node link 1 router port
+	links := routerLinks + n
+	c := Cost{
+		Nodes:   n,
+		Routers: g.N(),
+		Ports:   ports,
+		Links:   links,
+	}
+	if n > 0 {
+		c.PortsPerNode = float64(ports) / float64(n)
+		c.LinksPerNode = float64(links) / float64(n)
+	}
+	return c
+}
+
+// VerifyDiameter checks that the graph is connected and that the
+// maximum distance between any two endpoint-attached routers equals
+// want. This is the "diameter" the paper's classification uses: for
+// indirect topologies the intermediate (upper-level) routers never
+// source or sink traffic, so distances between them do not count.
+func VerifyDiameter(t Topology, want int) error {
+	g := t.Graph()
+	if !g.Connected() {
+		return fmt.Errorf("topo: %s is disconnected", t.Name())
+	}
+	eps := t.EndpointRouters()
+	dist := make([]int, g.N())
+	queue := make([]int, 0, g.N())
+	d := 0
+	for _, u := range eps {
+		g.BFSInto(u, dist, queue)
+		for _, v := range eps {
+			if dist[v] > d {
+				d = dist[v]
+			}
+		}
+	}
+	if d != want {
+		return fmt.Errorf("topo: %s has endpoint-router diameter %d, want %d", t.Name(), d, want)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace checks the trace parser never panics and that any
+// accepted trace drains exactly its stated volume under unrestricted
+// polling.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("0 0 1 2\n5 1 0 1\n", uint8(4))
+	f.Add("# c\n\n10 2 3 1\n", uint8(8))
+	f.Add("x y z w\n", uint8(4))
+	f.Add("-1 0 1 1\n", uint8(4))
+	f.Fuzz(func(t *testing.T, in string, rawN uint8) {
+		n := int(rawN)%16 + 2
+		tr, err := ParseTrace(strings.NewReader(in), "fuzz", n)
+		if err != nil {
+			return
+		}
+		var drained int64
+		// Poll at a time beyond any plausible release.
+		const late = int64(1) << 40
+		for src := 0; src < n; src++ {
+			for {
+				dst, ok := tr.NextPacket(src, late, nil)
+				if !ok {
+					break
+				}
+				if dst < 0 || dst >= n || dst == src {
+					t.Fatalf("invalid destination %d from %d", dst, src)
+				}
+				drained++
+				if drained > tr.TotalPackets() {
+					t.Fatal("trace produced more packets than declared")
+				}
+			}
+		}
+		if drained != tr.TotalPackets() {
+			t.Fatalf("drained %d of %d", drained, tr.TotalPackets())
+		}
+		if !tr.Done() {
+			t.Fatal("trace not done after drain")
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file provides the standard synthetic permutations of the
+// interconnection-networks literature (Dally & Towles) beyond the
+// paper's own worst cases. They are useful for stress-testing
+// topologies whose adversarial pattern is unknown, and for comparing
+// against published simulator results.
+
+// NodeShift is the node-level shift permutation: i -> (i + offset) mod n.
+func NodeShift(n, offset int) (Permutation, error) {
+	if n < 2 {
+		return Permutation{}, fmt.Errorf("traffic: shift needs n >= 2")
+	}
+	offset = ((offset % n) + n) % n
+	if offset == 0 {
+		return Permutation{}, fmt.Errorf("traffic: zero shift is the identity")
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i + offset) % n
+	}
+	p := Permutation{Label: fmt.Sprintf("NSHIFT(%d)", offset), Perm: perm}
+	return p, p.Validate()
+}
+
+// Tornado sends each node halfway around the machine:
+// i -> (i + n/2 - 1 + n%2) mod n for even n the classic
+// (i + ceil(n/2) - 1); implemented as i -> (i + n/2) mod n with the
+// odd-n adjustment to stay fixed-point free.
+func Tornado(n int) (Permutation, error) {
+	if n < 3 {
+		return Permutation{}, fmt.Errorf("traffic: tornado needs n >= 3")
+	}
+	return NodeShift(n, n/2)
+}
+
+// BitComplement maps each node to its bitwise complement within the
+// address width; n must be a power of two.
+func BitComplement(n int) (Permutation, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return Permutation{}, fmt.Errorf("traffic: bit complement needs a power-of-two size, got %d", n)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (n - 1) ^ i
+	}
+	p := Permutation{Label: "BITCOMP", Perm: perm}
+	return p, p.Validate()
+}
+
+// BitReverse maps each node to its bit-reversed address; n must be a
+// power of two. Nodes whose address is a palindrome map to
+// themselves, so those are shifted by one to keep the permutation
+// fixed-point free (matching common simulator practice of excluding
+// self-traffic).
+func BitReverse(n int) (Permutation, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return Permutation{}, fmt.Errorf("traffic: bit reverse needs a power-of-two size, got %d", n)
+	}
+	w := bits.Len(uint(n)) - 1
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - w))
+	}
+	// Fix self-mapping palindromes by pairing them cyclically.
+	var fixed []int
+	for i, d := range perm {
+		if d == i {
+			fixed = append(fixed, i)
+		}
+	}
+	for k, i := range fixed {
+		perm[i] = fixed[(k+1)%len(fixed)]
+	}
+	p := Permutation{Label: "BITREV", Perm: perm}
+	return p, p.Validate()
+}
+
+// Transpose treats node addresses as (row, col) in a sqrt(n) square
+// and swaps the coordinates; n must be a perfect square. Diagonal
+// nodes are cyclically shifted to avoid fixed points.
+func Transpose(n int) (Permutation, error) {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	if s*s != n || n < 4 {
+		return Permutation{}, fmt.Errorf("traffic: transpose needs a perfect square >= 4, got %d", n)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		r, c := i/s, i%s
+		perm[i] = c*s + r
+	}
+	var diag []int
+	for i, d := range perm {
+		if d == i {
+			diag = append(diag, i)
+		}
+	}
+	for k, i := range diag {
+		perm[i] = diag[(k+1)%len(diag)]
+	}
+	p := Permutation{Label: "TRANSPOSE", Perm: perm}
+	return p, p.Validate()
+}

@@ -1,0 +1,116 @@
+package traffic
+
+import "testing"
+
+func TestNodeShift(t *testing.T) {
+	p, err := NodeShift(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Perm[9] != 2 {
+		t.Errorf("shift wraps wrong: %d", p.Perm[9])
+	}
+	if _, err := NodeShift(10, 0); err == nil {
+		t.Error("identity shift accepted")
+	}
+	if _, err := NodeShift(10, 10); err == nil {
+		t.Error("full-cycle shift accepted")
+	}
+	if _, err := NodeShift(1, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	// Negative offsets normalize.
+	neg, err := NodeShift(10, -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Perm[0] != 7 {
+		t.Errorf("negative shift = %d, want 7", neg.Perm[0])
+	}
+}
+
+func TestTornado(t *testing.T) {
+	p, err := Tornado(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Perm[0] != 4 {
+		t.Errorf("tornado(8)[0] = %d, want 4", p.Perm[0])
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	odd, err := Tornado(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := odd.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := Tornado(2); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	p, err := BitComplement(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Perm[0] != 7 || p.Perm[5] != 2 {
+		t.Errorf("bitcomp wrong: %v", p.Perm)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := BitComplement(6); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	p, err := BitReverse(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 = 011 -> 110 = 6 (width 3).
+	if p.Perm[3] != 6 {
+		t.Errorf("bitrev(8)[3] = %d, want 6", p.Perm[3])
+	}
+	// Palindromic addresses (0, 2, 5, 7 in width 3) must not map to
+	// themselves.
+	for _, i := range []int{0, 2, 5, 7} {
+		if p.Perm[i] == i {
+			t.Errorf("palindrome %d maps to itself", i)
+		}
+	}
+	if _, err := BitReverse(12); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	p, err := Transpose(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// (1,2) = 6 -> (2,1) = 9.
+	if p.Perm[6] != 9 {
+		t.Errorf("transpose(16)[6] = %d, want 9", p.Perm[6])
+	}
+	// Diagonal entries must not be fixed points.
+	for _, i := range []int{0, 5, 10, 15} {
+		if p.Perm[i] == i {
+			t.Errorf("diagonal %d maps to itself", i)
+		}
+	}
+	if _, err := Transpose(15); err == nil {
+		t.Error("non-square accepted")
+	}
+}

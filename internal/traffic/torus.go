@@ -1,0 +1,118 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"diam2/internal/topo"
+)
+
+// Torus3D describes a 3-D torus process arrangement laid onto the
+// first X*Y*Z nodes in contiguous order (rank = x + X*y + X*Y*z),
+// matching the paper's contiguous mapping.
+type Torus3D struct {
+	X, Y, Z int
+}
+
+// Volume returns X*Y*Z.
+func (t Torus3D) Volume() int { return t.X * t.Y * t.Z }
+
+// Rank maps coordinates to the process rank (= node id).
+func (t Torus3D) Rank(x, y, z int) int { return x + t.X*(y+t.Y*z) }
+
+// Coords is the inverse of Rank.
+func (t Torus3D) Coords(rank int) (x, y, z int) {
+	x = rank % t.X
+	rank /= t.X
+	y = rank % t.Y
+	z = rank / t.Y
+	return
+}
+
+// Neighbors returns the 6 torus neighbors of a rank (±1 in each
+// dimension, wrapping). Dimensions of size 1 or 2 can produce
+// duplicate neighbors; duplicates are kept so each of the 6 logical
+// exchanges still happens.
+func (t Torus3D) Neighbors(rank int) []int {
+	x, y, z := t.Coords(rank)
+	mod := func(a, m int) int { return ((a % m) + m) % m }
+	return []int{
+		t.Rank(mod(x+1, t.X), y, z),
+		t.Rank(mod(x-1, t.X), y, z),
+		t.Rank(x, mod(y+1, t.Y), z),
+		t.Rank(x, mod(y-1, t.Y), z),
+		t.Rank(x, y, mod(z+1, t.Z)),
+		t.Rank(x, y, mod(z-1, t.Z)),
+	}
+}
+
+// FitTorus3D returns the most cubic 3-D torus with volume exactly n
+// (the paper fits exact-volume tori: 13x13x18 for SF p=9, 13x13x20
+// for SF p=10, 15x16x15 for MLFM, 12x14x19 for OFT). "Most cubic"
+// minimizes x^2+y^2+z^2 over ordered factorizations.
+func FitTorus3D(n int) (Torus3D, error) {
+	if n < 1 {
+		return Torus3D{}, fmt.Errorf("traffic: torus volume %d", n)
+	}
+	best := Torus3D{}
+	bestScore := math.MaxInt
+	for x := 1; x*x*x <= n; x++ {
+		if n%x != 0 {
+			continue
+		}
+		rest := n / x
+		for y := x; y*y <= rest; y++ {
+			if rest%y != 0 {
+				continue
+			}
+			z := rest / y
+			score := x*x + y*y + z*z
+			if score < bestScore {
+				bestScore = score
+				best = Torus3D{X: x, Y: y, Z: z}
+			}
+		}
+	}
+	if best.Volume() != n {
+		return Torus3D{}, fmt.Errorf("traffic: no factorization found for %d", n)
+	}
+	return best, nil
+}
+
+// NearestNeighbor builds the NN exchange of Section 4.4 on a torus
+// covering nodes [0, t.Volume()): each process sends packetsPerPair
+// packets to each of its 6 neighbors, interleaving across neighbors.
+// totalNodes is the machine size; nodes outside the torus stay idle.
+func NearestNeighbor(t Torus3D, totalNodes, packetsPerPair int) (*Exchange, error) {
+	if t.Volume() > totalNodes {
+		return nil, fmt.Errorf("traffic: torus %dx%dx%d exceeds %d nodes", t.X, t.Y, t.Z, totalNodes)
+	}
+	msgs := make([][]Message, totalNodes)
+	for rank := 0; rank < t.Volume(); rank++ {
+		var list []Message
+		for _, nb := range t.Neighbors(rank) {
+			if nb == rank {
+				continue // degenerate dimension of size 1
+			}
+			list = append(list, Message{Dst: nb, Packets: packetsPerPair})
+		}
+		msgs[rank] = list
+	}
+	return NewExchange(fmt.Sprintf("NN(%dx%dx%d)", t.X, t.Y, t.Z), msgs, true), nil
+}
+
+// TorusFor returns the 3-D torus the paper fits to a topology
+// (Section 4.4). For the MLFM the torus is structure-aligned — X = p
+// inside a router, Y = h+1 across a layer, Z = h across layers (the
+// paper's 15x16x15) — which maps X exchanges intra-router, Y
+// exchanges intra-layer and Z exchanges onto same-column router pairs
+// with h-fold path diversity. For the other topologies no such
+// alignment exists (the paper notes the OFT would need the
+// impractical 12x133x2) and the most cubic exact-volume factorization
+// is used, matching the paper's published dimensions.
+func TorusFor(t topo.Topology) (Torus3D, error) {
+	if m, ok := t.(*topo.MLFM); ok {
+		return Torus3D{X: m.H, Y: m.H + 1, Z: m.H}, nil
+	}
+	return FitTorus3D(t.Nodes())
+}

@@ -1,0 +1,101 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceValidation(t *testing.T) {
+	bad := []TraceRecord{
+		{Time: 0, Src: 0, Dst: 0, Packets: 1},  // self message
+		{Time: 0, Src: -1, Dst: 1, Packets: 1}, // bad src
+		{Time: 0, Src: 0, Dst: 9, Packets: 1},  // bad dst
+		{Time: 0, Src: 0, Dst: 1, Packets: 0},  // no packets
+		{Time: -1, Src: 0, Dst: 1, Packets: 1}, // negative time
+	}
+	for i, r := range bad {
+		if _, err := NewTrace("t", 4, []TraceRecord{r}); err == nil {
+			t.Errorf("record %d accepted: %+v", i, r)
+		}
+	}
+}
+
+func TestTraceTimedRelease(t *testing.T) {
+	tr, err := NewTrace("t", 3, []TraceRecord{
+		{Time: 10, Src: 0, Dst: 1, Packets: 2},
+		{Time: 0, Src: 0, Dst: 2, Packets: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalPackets() != 3 {
+		t.Fatalf("TotalPackets = %d", tr.TotalPackets())
+	}
+	// At time 0 only the t=0 record is eligible (records are drained
+	// in timestamp order regardless of input order).
+	d, ok := tr.NextPacket(0, 0, nil)
+	if !ok || d != 2 {
+		t.Fatalf("t=0 packet = (%d,%v), want (2,true)", d, ok)
+	}
+	if _, ok := tr.NextPacket(0, 5, nil); ok {
+		t.Fatal("t=10 record released early")
+	}
+	d, ok = tr.NextPacket(0, 10, nil)
+	if !ok || d != 1 {
+		t.Fatalf("t=10 packet = (%d,%v), want (1,true)", d, ok)
+	}
+	d, ok = tr.NextPacket(0, 11, nil)
+	if !ok || d != 1 {
+		t.Fatalf("second t=10 packet = (%d,%v)", d, ok)
+	}
+	if tr.Done() != true {
+		t.Error("trace not done after drain")
+	}
+	if _, ok := tr.NextPacket(0, 12, nil); ok {
+		t.Error("drained trace still produces packets")
+	}
+}
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	records := []TraceRecord{
+		{Time: 0, Src: 0, Dst: 1, Packets: 3},
+		{Time: 5, Src: 1, Dst: 2, Packets: 1},
+	}
+	var b strings.Builder
+	if err := WriteTrace(&b, records); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace(strings.NewReader(b.String()), "rt", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalPackets() != 4 {
+		t.Fatalf("TotalPackets = %d, want 4", tr.TotalPackets())
+	}
+	if _, err := ParseTrace(strings.NewReader("0 0 1"), "bad", 2); err == nil {
+		t.Error("short line accepted")
+	}
+}
+
+func TestSyntheticPhaseTrace(t *testing.T) {
+	recs := SyntheticPhaseTrace(4, 3, 2, 100)
+	if len(recs) != 12 {
+		t.Fatalf("records = %d, want 12", len(recs))
+	}
+	tr, err := NewTrace("phases", 4, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalPackets() != 24 {
+		t.Errorf("TotalPackets = %d, want 24", tr.TotalPackets())
+	}
+	// Phase timestamps are 0, 100, 200.
+	for _, r := range recs {
+		if r.Time%100 != 0 || r.Time > 200 {
+			t.Errorf("unexpected timestamp %d", r.Time)
+		}
+		if r.Src == r.Dst {
+			t.Error("self message in phase trace")
+		}
+	}
+}

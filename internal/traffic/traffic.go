@@ -1,0 +1,110 @@
+// Package traffic implements the workloads of Section 4: open-loop
+// synthetic traffic (global uniform random and the per-topology
+// adversarial worst cases of Section 4.2) and closed-loop exchange
+// patterns (all-to-all and 3-D-torus nearest-neighbor, Section 4.4),
+// with the paper's contiguous process-to-node mapping.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diam2/internal/topo"
+)
+
+// Pattern maps a source node to destination nodes; permutations are
+// deterministic, uniform is sampled per packet.
+type Pattern interface {
+	Name() string
+	Dest(src int, rng *rand.Rand) int
+}
+
+// Uniform is global uniform random traffic: each packet picks a
+// destination uniformly among all other nodes.
+type Uniform struct{ N int }
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "UNI" }
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src int, rng *rand.Rand) int {
+	d := rng.Intn(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Permutation is a fixed destination per source.
+type Permutation struct {
+	Label string
+	Perm  []int
+}
+
+// Name implements Pattern.
+func (p Permutation) Name() string { return p.Label }
+
+// Dest implements Pattern.
+func (p Permutation) Dest(src int, _ *rand.Rand) int { return p.Perm[src] }
+
+// Validate checks that the permutation is a proper fixed-point-free
+// permutation over its domain.
+func (p Permutation) Validate() error {
+	seen := make([]bool, len(p.Perm))
+	for s, d := range p.Perm {
+		if d < 0 || d >= len(p.Perm) {
+			return fmt.Errorf("traffic: %s maps %d out of range", p.Label, s)
+		}
+		if d == s {
+			return fmt.Errorf("traffic: %s has fixed point %d", p.Label, s)
+		}
+		if seen[d] {
+			return fmt.Errorf("traffic: %s maps two sources to %d", p.Label, d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// RouterShift builds the shift permutation used as the worst case for
+// the MLFM (offset h) and OFT (offset k): endpoint routers are
+// shifted by offset in their canonical order, and node m of a router
+// maps to node m of the shifted router (Section 4.2).
+func RouterShift(t topo.Topology, offset int) (Permutation, error) {
+	eps := t.EndpointRouters()
+	if len(eps) < 2 {
+		return Permutation{}, fmt.Errorf("traffic: topology has %d endpoint routers", len(eps))
+	}
+	if offset%len(eps) == 0 {
+		return Permutation{}, fmt.Errorf("traffic: shift offset %d is a multiple of the router count", offset)
+	}
+	perm := make([]int, t.Nodes())
+	for i, r := range eps {
+		dstRouter := eps[(i+offset)%len(eps)]
+		src := t.RouterNodes(r)
+		dst := t.RouterNodes(dstRouter)
+		if len(src) != len(dst) {
+			return Permutation{}, fmt.Errorf("traffic: routers %d and %d hold different node counts", r, dstRouter)
+		}
+		for m, s := range src {
+			perm[s] = dst[m]
+		}
+	}
+	p := Permutation{Label: fmt.Sprintf("SHIFT(%d)", offset), Perm: perm}
+	return p, p.Validate()
+}
+
+// WorstCase builds the adversarial permutation of Section 4.2 for a
+// topology: the shift pattern for SSPTs (offset h for MLFM, k for
+// OFT) and the greedy overlapping distance-2 pairing for the Slim
+// Fly. Other topologies fall back to the generic distance-2 pairing.
+func WorstCase(t topo.Topology, rng *rand.Rand) (Permutation, error) {
+	switch tt := t.(type) {
+	case *topo.MLFM:
+		return RouterShift(t, tt.WorstCaseShift())
+	case *topo.OFT:
+		return RouterShift(t, tt.WorstCaseShift())
+	default:
+		return slimFlyWorstCase(t, rng)
+	}
+}

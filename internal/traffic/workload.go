@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpenLoop adapts a Pattern into an open-loop Bernoulli workload: at
+// every cycle each node generates a packet with probability
+// Load / PacketFlits, so the offered load is Load (as a fraction of
+// the injection bandwidth).
+type OpenLoop struct {
+	Pattern     Pattern
+	Load        float64
+	PacketFlits int
+}
+
+// Name implements sim.Workload.
+func (o *OpenLoop) Name() string { return fmt.Sprintf("%s@%.2f", o.Pattern.Name(), o.Load) }
+
+// NextPacket implements sim.Workload.
+func (o *OpenLoop) NextPacket(src int, _ int64, rng *rand.Rand) (int, bool) {
+	if rng.Float64() >= o.Load/float64(o.PacketFlits) {
+		return 0, false
+	}
+	return o.Pattern.Dest(src, rng), true
+}
+
+// Done implements sim.Workload (open-loop runs never finish).
+func (o *OpenLoop) Done() bool { return false }
+
+// Message is a fixed-size transfer to one destination.
+type Message struct {
+	Dst     int
+	Packets int
+}
+
+// Exchange is a closed-loop workload: each node owns an ordered list
+// of messages. Injection either drains messages sequentially (the
+// all-to-all shifted order) or round-robins across them
+// (nearest-neighbor style).
+type Exchange struct {
+	Label      string
+	Interleave bool
+
+	msgs      [][]Message
+	remaining [][]int // packets left per message
+	rrMsg     []int   // round-robin cursor per node
+	left      int64   // total packets still to inject
+	total     int64
+}
+
+// NewExchange builds an exchange from per-node message lists
+// (msgs[n] are node n's messages).
+func NewExchange(label string, msgs [][]Message, interleave bool) *Exchange {
+	e := &Exchange{Label: label, Interleave: interleave, msgs: msgs}
+	e.remaining = make([][]int, len(msgs))
+	e.rrMsg = make([]int, len(msgs))
+	for n, list := range msgs {
+		e.remaining[n] = make([]int, len(list))
+		for i, m := range list {
+			e.remaining[n][i] = m.Packets
+			e.left += int64(m.Packets)
+		}
+	}
+	e.total = e.left
+	return e
+}
+
+// Name implements sim.Workload.
+func (e *Exchange) Name() string { return e.Label }
+
+// TotalPackets returns the exchange volume in packets.
+func (e *Exchange) TotalPackets() int64 { return e.total }
+
+// NextPacket implements sim.Workload.
+func (e *Exchange) NextPacket(src int, _ int64, _ *rand.Rand) (int, bool) {
+	rem := e.remaining[src]
+	if len(rem) == 0 {
+		return 0, false
+	}
+	if e.Interleave {
+		for trial := 0; trial < len(rem); trial++ {
+			i := (e.rrMsg[src] + trial) % len(rem)
+			if rem[i] > 0 {
+				rem[i]--
+				e.left--
+				e.rrMsg[src] = (i + 1) % len(rem)
+				return e.msgs[src][i].Dst, true
+			}
+		}
+		return 0, false
+	}
+	for i, r := range rem {
+		if r > 0 {
+			rem[i]--
+			e.left--
+			return e.msgs[src][i].Dst, true
+		}
+	}
+	return 0, false
+}
+
+// Done implements sim.Workload.
+func (e *Exchange) Done() bool { return e.left == 0 }
+
+// AllToAll builds the A2A exchange of Section 4.4: every node sends
+// packetsPerPair packets to every other node. Following the optimized
+// exchange of Kumar et al. (Blue Gene/Q), each node sprays packets
+// round-robin over all destinations (interleaved draining), so the
+// instantaneous traffic resembles uniform random traffic instead of a
+// sequence of hot single-path permutation phases; with an rng, each
+// node additionally starts from an independently shuffled
+// destination order. Pass a nil rng for the deterministic shifted
+// order (kept for ablation; it is still interleaved).
+func AllToAll(n, packetsPerPair int, rng *rand.Rand) *Exchange {
+	msgs := make([][]Message, n)
+	for i := 0; i < n; i++ {
+		list := make([]Message, 0, n-1)
+		for ph := 1; ph < n; ph++ {
+			list = append(list, Message{Dst: (i + ph) % n, Packets: packetsPerPair})
+		}
+		if rng != nil {
+			rng.Shuffle(len(list), func(a, b int) { list[a], list[b] = list[b], list[a] })
+		}
+		msgs[i] = list
+	}
+	label := "A2A"
+	if rng == nil {
+		label = "A2A-shifted"
+	}
+	return NewExchange(label, msgs, true)
+}
+
+// AllToAllSequential is the naive synchronized variant: every node
+// drains one full message after another in shifted order. It is kept
+// as an ablation baseline — on the SSPTs the aligned phases form
+// single-minimal-path permutations and throughput collapses relative
+// to the sprayed exchange.
+func AllToAllSequential(n, packetsPerPair int) *Exchange {
+	ex := AllToAll(n, packetsPerPair, nil)
+	ex.Interleave = false
+	ex.Label = "A2A-seq"
+	return ex
+}

@@ -1,0 +1,138 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diam2/internal/topo"
+)
+
+// slimFlyWorstCase builds the Section 4.2 adversarial pattern for the
+// Slim Fly (Fig. 5): routers communicate in pairs at distance 2 with
+// pairwise overlapping routes. A greedy pass finds chains A-B-C-D
+// where d(A,C) = d(B,D) = 2 and assigns A->C and B->D, so the link
+// B->C carries the second hop of A's flows and the first hop of B's
+// flows (2p flows per direction, saturating at 1/(2p)). Routers left
+// over by the greedy pass are paired with any distance-2 partner.
+func slimFlyWorstCase(t topo.Topology, rng *rand.Rand) (Permutation, error) {
+	g := t.Graph()
+	r := g.N()
+	dist := g.DistanceMatrix()
+	routerDst := make([]int, r)
+	for i := range routerDst {
+		routerDst[i] = -1
+	}
+	usedSrc := make([]bool, r)
+	usedDst := make([]bool, r)
+
+	// Prefer unique-common-neighbor pairs so that minimal routing is
+	// forced through the overlapping link.
+	order := rng.Perm(r)
+	for _, a := range order {
+		if usedSrc[a] {
+			continue
+		}
+		if tryChain(g, dist, a, routerDst, usedSrc, usedDst) {
+			continue
+		}
+	}
+	// Fallback: pair remaining sources with any free distance-2 (or,
+	// failing that, distance-1) destination.
+	for a := 0; a < r; a++ {
+		if usedSrc[a] {
+			continue
+		}
+		best := -1
+		for c := 0; c < r; c++ {
+			if usedDst[c] || c == a {
+				continue
+			}
+			if dist[a][c] == 2 {
+				best = c
+				break
+			}
+			if best < 0 && dist[a][c] >= 1 {
+				best = c
+			}
+		}
+		if best < 0 {
+			return Permutation{}, fmt.Errorf("traffic: cannot complete worst-case pairing at router %d", a)
+		}
+		routerDst[a] = best
+		usedSrc[a] = true
+		usedDst[best] = true
+	}
+
+	// Expand to nodes: node m of router a -> node m of router dst[a].
+	perm := make([]int, t.Nodes())
+	for a := 0; a < r; a++ {
+		src := t.RouterNodes(a)
+		dst := t.RouterNodes(routerDst[a])
+		if len(src) != len(dst) {
+			return Permutation{}, fmt.Errorf("traffic: routers %d and %d hold different node counts", a, routerDst[a])
+		}
+		for m, s := range src {
+			perm[s] = dst[m]
+		}
+	}
+	p := Permutation{Label: "WC-SF", Perm: perm}
+	return p, p.Validate()
+}
+
+// tryChain looks for a chain a-b-c-d realizing the overlapping
+// worst-case pairs (a->c, b->d) and commits it if found.
+func tryChain(g interface {
+	Neighbors(int) []int
+	CommonNeighbors(int, int) []int
+}, dist [][]int, a int, routerDst []int, usedSrc, usedDst []bool) bool {
+	for _, b := range g.Neighbors(a) {
+		if usedSrc[b] || b == a {
+			continue
+		}
+		for _, c := range g.Neighbors(b) {
+			if c == a || usedDst[c] || dist[a][c] != 2 {
+				continue
+			}
+			// Force the overlap: b must be the only minimal route
+			// a -> c can take.
+			if len(g.CommonNeighbors(a, c)) != 1 {
+				continue
+			}
+			for _, d := range g.Neighbors(c) {
+				if d == b || usedDst[d] || dist[b][d] != 2 {
+					continue
+				}
+				if len(g.CommonNeighbors(b, d)) != 1 {
+					continue
+				}
+				routerDst[a] = c
+				routerDst[b] = d
+				usedSrc[a], usedSrc[b] = true, true
+				usedDst[c], usedDst[d] = true, true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DragonflyWorstCase builds the classical Dragonfly adversarial
+// pattern (extension beyond the paper): every node in group g sends
+// to the peer node in group g+1, funneling each group's entire
+// traffic over the single global link between adjacent groups.
+// Minimal routing collapses to roughly 1/(a*p) of injection
+// bandwidth; Valiant-style randomization restores it — the same
+// structure-vs-load-balancing story the paper tells for the
+// diameter-two designs.
+func DragonflyWorstCase(d *topo.Dragonfly) (Permutation, error) {
+	n := d.Nodes()
+	perGroup := d.A * d.P
+	perm := make([]int, n)
+	for node := 0; node < n; node++ {
+		g := node / perGroup
+		off := node % perGroup
+		perm[node] = ((g+1)%d.Groups)*perGroup + off
+	}
+	p := Permutation{Label: "WC-DF", Perm: perm}
+	return p, p.Validate()
+}
