@@ -7,12 +7,21 @@
 //	diam2sim -topo mlfm -alg ath -pattern wc -load 1.0 -scale paper
 //	diam2sim -topo oft -alg a -exchange a2a
 //	diam2sim -topo sf10 -alg inr -exchange nn -scale quick
+//	diam2sim -topo mlfm -alg min -load 0.3 -fail-links 0.05 -fail-at 5000
+//	diam2sim -topo oft -alg a -load 0.5 -mtbf 200000 -retx-timeout 1024
 //
 // Topologies: sf9, sf10, mlfm, oft (paper configs), sf-small,
 // mlfm-small, oft-small, or file:PATH to load an edge-list topology
 // (see topo.ReadEdgeList). Algorithms: min, inr, a, ath. Patterns:
 // uni, wc. Exchanges: a2a, nn (override -pattern). -saturate runs a
 // binary search for the saturation load instead of a single point.
+//
+// Fault injection: -fail-links downs a random (seeded) set of router
+// links at cycle -fail-at; -mtbf instead drives a continuous per-link
+// failure/repair process. Dropped packets are retransmitted by their
+// sources after -retx-timeout cycles with exponential backoff, and
+// routing tables are rebuilt from the degraded graph after the
+// -rebuild-latency window.
 package main
 
 import (
@@ -40,9 +49,28 @@ func main() {
 		c        = flag.Float64("c", 0, "override UGAL cost constant (c or cSF)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		saturate = flag.Bool("saturate", false, "binary-search the saturation load instead of one run")
+
+		failLinks  = flag.Float64("fail-links", 0, "links to fail mid-run: a fraction (< 1) or a count (>= 1)")
+		failAt     = flag.Int64("fail-at", -1, "cycle at which -fail-links links go down (default: end of warmup)")
+		mtbf       = flag.Int64("mtbf", 0, "per-link mean cycles between failures (enables the random fault process)")
+		mttr       = flag.Int64("mttr", 0, "per-link repair time in cycles for -mtbf (default: mtbf/10)")
+		retxTO     = flag.Int("retx-timeout", 0, "override the retransmission timeout, cycles")
+		rebuildLat = flag.Int("rebuild-latency", 0, "override the routing-table rebuild latency, cycles (negative forces instant rebuild)")
 	)
 	flag.Parse()
-	if err := run(*topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate); err != nil {
+	fp := harness.FaultPlan{
+		FailAt:         *failAt,
+		MTBF:           *mtbf,
+		MTTR:           *mttr,
+		RetxTimeout:    *retxTO,
+		RebuildLatency: *rebuildLat,
+	}
+	if *failLinks >= 1 {
+		fp.FailCount = int(*failLinks)
+	} else {
+		fp.FailFrac = *failLinks
+	}
+	if err := run(*topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, fp); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sim:", err)
 		os.Exit(1)
 	}
@@ -108,7 +136,7 @@ func parseAlg(name string) (harness.AlgKind, error) {
 	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
-func run(topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool) error {
+func run(topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool, fp harness.FaultPlan) error {
 	preset, err := findPreset(topoName)
 	if err != nil {
 		return err
@@ -127,6 +155,7 @@ func run(topoName, algName, pattern, exchange string, load float64, scaleName st
 		return fmt.Errorf("unknown scale %q", scaleName)
 	}
 	sc.Seed = seed
+	sc.Faults = fp
 	ugal := preset.BestAdaptive
 	if ni > 0 {
 		ugal.NI = ni
@@ -215,4 +244,11 @@ func printResults(res sim.Results) {
 	fmt.Printf("latency   avg=%.0f p99=%.0f max=%.0f cycles (network-only avg %.0f)\n",
 		res.AvgLatency, res.P99Latency, res.MaxLatency, res.AvgNetLatency)
 	fmt.Printf("routing   avg hops %.2f, %.1f%% indirect\n", res.AvgHops, res.IndirectFrac*100)
+	f := res.Faults
+	if f.LinkDownEvents+f.SkippedEvents > 0 {
+		fmt.Printf("faults    downs=%d ups=%d skipped=%d rebuilds=%d\n",
+			f.LinkDownEvents, f.LinkUpEvents, f.SkippedEvents, f.Rebuilds)
+		fmt.Printf("recovery  dropped=%d retransmitted=%d pending=%d, max drop-to-delivery %d cycles\n",
+			f.Dropped, f.Retransmits, f.RetxPending, f.MaxRecovery)
+	}
 }

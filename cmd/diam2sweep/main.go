@@ -14,7 +14,8 @@
 //	diam2sweep -fig 12            # OFT-ATh sweeps
 //	diam2sweep -fig 13            # all-to-all exchange
 //	diam2sweep -fig 14            # nearest-neighbor exchange
-//	diam2sweep -fig all           # everything
+//	diam2sweep -fig resilience    # throughput vs. failed-link fraction
+//	diam2sweep -fig all           # every paper figure (not resilience)
 //
 // By default the sweep runs at "quick" scale (reduced instances and
 // run lengths, same code paths); pass -scale paper for the Section
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "", "figure to regenerate: 6a|6b|7|8|9|10|11|12|13|14|all")
+		fig       = flag.String("fig", "", "figure to regenerate: 6a|6b|7|8|9|10|11|12|13|14|resilience|all")
 		scaleName = flag.String("scale", "quick", "scale: quick|medium|paper")
 		seed      = flag.Int64("seed", 1, "random seed")
 		plotDir   = flag.String("plotdir", "", "write SVG charts for figures with curves into this directory")
@@ -182,6 +183,11 @@ func run(fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir s
 			err = render(harness.FigExchange(presets, harness.ExA2A, sc))
 		case "14":
 			err = render(harness.FigExchange(presets, harness.ExNN, sc))
+		case "resilience":
+			err = render(harness.FigResilience(presets,
+				[]harness.AlgKind{harness.AlgMIN, harness.AlgINR, harness.AlgA},
+				[]harness.PatternKind{harness.PatUNI, harness.PatWC},
+				harness.DefaultFailureFractions(), 0.5, sc))
 		default:
 			err = fmt.Errorf("unknown figure %q", f)
 		}

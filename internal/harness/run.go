@@ -21,6 +21,9 @@ type Scale struct {
 	NNPackets  int   // packets per neighbor in the NN exchange
 	Paper      bool  // use the paper's switch parameters
 	Seed       int64
+	// Faults optionally injects dynamic link failures into every run
+	// at this scale (see resilience.go); the zero value injects none.
+	Faults FaultPlan
 }
 
 // PaperScale is the Section 4.1 setup: 200 us simulated, 20 us
@@ -84,6 +87,7 @@ func (s Scale) SimConfig(numVCs int) sim.Config {
 		cfg = sim.TestConfig(numVCs)
 	}
 	cfg.Seed = s.Seed
+	s.Faults.applyOverrides(&cfg)
 	return cfg
 }
 
@@ -132,6 +136,9 @@ func RunSynthetic(t topo.Topology, kind AlgKind, ugal UGALConfig, pat PatternKin
 	if err != nil {
 		return sim.Results{}, err
 	}
+	if err := scale.Faults.apply(e, t, scale); err != nil {
+		return sim.Results{}, err
+	}
 	e.Warmup = scale.Warmup
 	e.Run(scale.Cycles)
 	return e.Results(), nil
@@ -151,6 +158,9 @@ func RunExchange(t topo.Topology, kind AlgKind, ugal UGALConfig, ex *traffic.Exc
 	}
 	e, err := sim.NewEngine(net, alg, ex)
 	if err != nil {
+		return sim.Results{}, 0, err
+	}
+	if err := scale.Faults.apply(e, t, scale); err != nil {
 		return sim.Results{}, 0, err
 	}
 	if !e.RunUntilDrained(scale.MaxDrain) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"diam2/internal/graph"
 	"diam2/internal/sim"
 	"diam2/internal/topo"
 )
@@ -50,6 +51,11 @@ type base struct {
 	policy   VCPolicy
 	indirect bool // whether indirect routes are ever taken
 	maxMin   int  // maximum minimal route length between endpoint routers
+
+	// live is the router graph the tables were last rebuilt from; nil
+	// until the first Rebuild (fault-free operation). When set, route
+	// decisions skip ports whose link it no longer contains.
+	live *graph.Graph
 }
 
 func newBase(t topo.Topology, policy VCPolicy, indirect bool) *base {
@@ -86,6 +92,23 @@ func (b *base) numVCs() int {
 	}
 }
 
+// Rebuild implements sim.RerouteAware: it recomputes the distance
+// tables from the current (possibly degraded) router graph, so
+// subsequent decisions route around downed links. The VC budget was
+// sized from the fault-free topology and does not change mid-run;
+// hop-indexed VCs clamp at the top channel when rerouted paths run
+// long (see vcFor).
+func (b *base) Rebuild(g *graph.Graph) {
+	b.dist = g.DistanceMatrix()
+	b.live = g
+}
+
+// usable reports whether a network port's link exists in the graph the
+// tables were built from (always true before the first Rebuild).
+func (b *base) usable(r *sim.Router, port int) bool {
+	return b.live == nil || b.live.HasEdge(r.ID, r.NeighborAt(port))
+}
+
 // vcFor returns the VC for the packet's next link.
 func (b *base) vcFor(p *sim.Packet) int {
 	if b.policy == VCByPhase {
@@ -93,6 +116,11 @@ func (b *base) vcFor(p *sim.Packet) int {
 			return 1
 		}
 		return 0
+	}
+	// Dynamic faults can stretch a route beyond the hop budget the VC
+	// count was sized from; the overflow hops share the top channel.
+	if max := b.numVCs() - 1; p.Hops > max {
+		return max
 	}
 	return p.Hops
 }
@@ -122,7 +150,7 @@ func (b *base) nextHop(p *sim.Packet, r *sim.Router, rng *rand.Rand) (int, int) 
 	ties := 0
 	for port := 0; port < r.NetPorts(); port++ {
 		nb := r.NeighborAt(port)
-		if b.dist[nb][tgt] != want {
+		if b.dist[nb][tgt] != want || !b.usable(r, port) {
 			continue
 		}
 		occ := r.OutOccupancy(port)
@@ -160,7 +188,7 @@ func (b *base) firstHopOccupancy(r *sim.Router, tgt int) (occ, port int) {
 	want := b.dist[r.ID][tgt] - 1
 	occ, port = -1, -1
 	for pt := 0; pt < r.NetPorts(); pt++ {
-		if b.dist[r.NeighborAt(pt)][tgt] != want {
+		if b.dist[r.NeighborAt(pt)][tgt] != want || !b.usable(r, pt) {
 			continue
 		}
 		o := r.OutOccupancy(pt)

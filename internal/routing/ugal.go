@@ -88,7 +88,7 @@ func (u *UGAL) occupancy(r *sim.Router, tgt int) int {
 	want := u.dist[r.ID][tgt] - 1
 	occ := -1
 	for pt := 0; pt < r.NetPorts(); pt++ {
-		if u.dist[r.NeighborAt(pt)][tgt] != want {
+		if u.dist[r.NeighborAt(pt)][tgt] != want || !u.usable(r, pt) {
 			continue
 		}
 		if o := r.OutBufferOccupancy(pt); occ < 0 || o < occ {

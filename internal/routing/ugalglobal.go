@@ -48,7 +48,7 @@ func (u *UGALGlobal) pathCost(net *sim.Network, cur, tgt int) float64 {
 		want := u.dist[cur][tgt] - 1
 		bestPort, bestOcc := -1, 0
 		for port := 0; port < r.NetPorts(); port++ {
-			if u.dist[r.NeighborAt(port)][tgt] != want {
+			if u.dist[r.NeighborAt(port)][tgt] != want || !u.usable(r, port) {
 				continue
 			}
 			if occ := r.OutOccupancy(port); bestPort < 0 || occ < bestOcc {

@@ -33,6 +33,21 @@ type Config struct {
 	Speedup        int   // internal crossbar speedup (1 = link rate)
 	SourceQueueCap int   // per-node source queue bound, packets
 	Seed           int64 // RNG seed (deterministic runs)
+
+	// Fault-injection parameters; relevant only when a FaultSchedule
+	// is attached to the engine (see fault.go).
+	//
+	// RetxTimeout is the per-source retransmission timeout in cycles:
+	// a packet dropped by a link failure is re-injected by its source
+	// RetxTimeout cycles after the drop, doubling on every subsequent
+	// drop of the same packet (exponential backoff). Zero selects a
+	// default at attach time.
+	RetxTimeout int
+	// RebuildLatency is the routing-table rebuild delay in cycles:
+	// after a link transition, tables stay stale for this long before
+	// the reroute lands (0 = instantaneous rebuild). Packets that
+	// commit to a dead output buffer in the window are dropped.
+	RebuildLatency int
 }
 
 // DefaultConfig returns the paper's switch parameters for a routing
@@ -52,6 +67,8 @@ func DefaultConfig(numVCs int) Config {
 		Speedup:        1,
 		SourceQueueCap: 64,
 		Seed:           1,
+		RetxTimeout:    4096,
+		RebuildLatency: 256,
 	}
 }
 
@@ -71,6 +88,8 @@ func TestConfig(numVCs int) Config {
 		Speedup:        1,
 		SourceQueueCap: 16,
 		Seed:           1,
+		RetxTimeout:    512,
+		RebuildLatency: 8,
 	}
 }
 
@@ -98,6 +117,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: Speedup = %d", c.Speedup)
 	case c.SourceQueueCap < 1:
 		return fmt.Errorf("sim: SourceQueueCap = %d", c.SourceQueueCap)
+	case c.RetxTimeout < 0:
+		return fmt.Errorf("sim: RetxTimeout = %d", c.RetxTimeout)
+	case c.RebuildLatency < 0:
+		return fmt.Errorf("sim: RebuildLatency = %d", c.RebuildLatency)
 	}
 	return nil
 }

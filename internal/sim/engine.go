@@ -105,6 +105,18 @@ type Engine struct {
 	recorder     *RouteRecorder   // optional per-packet route capture
 	perNodeFlits []int64          // optional per-destination accounting
 
+	// Fault injection (nil / zero without a schedule; see fault.go).
+	faults        *faultState
+	reroute       RerouteAware
+	droppedPkts   int64 // packets removed from the network by link failures
+	retransmits   int64 // re-injections of dropped packets
+	retxWaiting   int64 // drops not yet re-injected
+	linkDowns     int64
+	linkUps       int64
+	faultsSkipped int64
+	rebuilds      int64
+	recoveryMax   int64 // max drop -> redelivery time observed
+
 	// Throughput time-series sampling (see timeseries.go).
 	sampleInterval      int64
 	sampleCount         int64
@@ -149,6 +161,9 @@ func (e *Engine) schedule(delay int64, ev event) {
 
 // Step advances the simulation by one cycle.
 func (e *Engine) Step() {
+	if e.faults != nil {
+		e.faultTick()
+	}
 	e.processEvents()
 	e.linkStage()
 	e.switchStage()
@@ -165,16 +180,26 @@ func (e *Engine) Run(n int64) {
 }
 
 // RunUntilDrained steps until the workload is done and every injected
-// packet has been delivered, or maxCycles elapse. It returns true if
-// the network drained.
+// packet has been delivered (including retransmissions of packets lost
+// to link failures), or maxCycles elapse. It returns true if the
+// network drained.
 func (e *Engine) RunUntilDrained(maxCycles int64) bool {
 	for e.now < maxCycles {
-		if e.Work.Done() && e.delivered == e.injected && e.sourceQueuesEmpty() {
+		if e.drained() {
 			return true
 		}
 		e.Step()
 	}
-	return e.Work.Done() && e.delivered == e.injected && e.sourceQueuesEmpty()
+	return e.drained()
+}
+
+// drained reports that no packet remains anywhere: the workload is
+// exhausted, the source and retransmission queues are empty, and every
+// packet still in the network (injections minus deliveries minus
+// drops) has been accounted for.
+func (e *Engine) drained() bool {
+	return e.Work.Done() && e.injected-e.delivered-e.droppedPkts == 0 &&
+		e.retxWaiting == 0 && e.sourceQueuesEmpty()
 }
 
 func (e *Engine) sourceQueuesEmpty() bool {
@@ -225,6 +250,9 @@ func (e *Engine) deliver(p *Packet) {
 			e.perNodeFlits[p.Dst] += int64(p.Flits)
 		}
 	}
+	if p.Retx > 0 && e.now-p.FirstDrop > e.recoveryMax {
+		e.recoveryMax = e.now - p.FirstDrop
+	}
 	if e.observer != nil {
 		e.observer.OnDeliver(p, e.now)
 	}
@@ -254,6 +282,9 @@ func (e *Engine) linkStage() {
 		for port := 0; port < r.nPorts; port++ {
 			if r.linkFree[port] > e.now {
 				continue
+			}
+			if r.portDown != nil && port < r.netPorts && r.portDown[port] {
+				continue // downed links stop transmitting
 			}
 			nv := e.Cfg.NumVCs
 			for i := 0; i < nv; i++ {
@@ -422,17 +453,42 @@ func (e *Engine) injectStage() {
 				nd.srcQ.push(entry{pkt: p})
 			}
 		}
-		if nd.srcQ.empty() || nd.linkFree > e.now {
+		if nd.linkFree > e.now {
 			continue
 		}
-		p := nd.srcQ.front().pkt
+		// Retransmissions of dropped packets take priority over fresh
+		// traffic: they are older and gate drain completion.
+		retx := -1
+		var p *Packet
+		if e.faults != nil {
+			retx = nd.readyRetx(e.now)
+		}
+		if retx >= 0 {
+			p = nd.retxQ[retx].pkt
+			// Reset routing state; Inject below re-decides the route on
+			// the current tables.
+			p.Hops = 0
+			p.PhaseTwo = false
+			p.Intermediate = -1
+		} else {
+			if nd.srcQ.empty() {
+				continue
+			}
+			p = nd.srcQ.front().pkt
+		}
 		r := e.Net.Routers[nd.Router]
 		vc := e.Alg.Inject(p, r, e.rng)
 		if nd.credits[vc] < e.pktFlits {
 			continue
 		}
 		nd.credits[vc] -= e.pktFlits
-		nd.srcQ.pop()
+		if retx >= 0 {
+			nd.takeRetx(retx)
+			e.retxWaiting--
+			e.retransmits++
+		} else {
+			nd.srcQ.pop()
+		}
 		p.InjectTime = e.now
 		p.VC = vc
 		e.injected++

@@ -1,0 +1,197 @@
+package sim_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"diam2/internal/routing"
+	"diam2/internal/sim"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+)
+
+// faultedEngine builds an engine over tp with a fault schedule
+// attached, failing count random links at cycle at.
+func faultedEngine(t *testing.T, tp topo.Topology, alg sim.RoutingAlgorithm, w sim.Workload, count int, at int64) *sim.Engine {
+	t.Helper()
+	e := buildEngine(t, tp, alg, w)
+	fs, err := sim.RandomLinkFailures(tp, count, at, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetFaultSchedule(fs); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestFaultedExchangeDeliversAll: links killed mid-exchange drop
+// in-flight packets, yet retransmission recovers every one of them —
+// the exchange drains with 100% delivery and the engine's conservation
+// invariants hold throughout.
+func TestFaultedExchangeDeliversAll(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	ex := traffic.AllToAll(tp.Nodes(), 1, nil)
+	e := faultedEngine(t, tp, routing.NewMinimal(tp), ex, 5, 300)
+	drained := false
+	for e.Now() < 4_000_000 {
+		if err := e.RunChecked(500, 100); err != nil {
+			t.Fatal(err)
+		}
+		res := e.Results()
+		if res.Delivered == ex.TotalPackets() && res.Faults.RetxPending == 0 {
+			drained = true
+			break
+		}
+	}
+	res := e.Results()
+	if !drained {
+		t.Fatalf("faulted exchange did not drain: %+v", res)
+	}
+	f := res.Faults
+	if f.LinkDownEvents != 5 {
+		t.Errorf("LinkDownEvents = %d, want 5", f.LinkDownEvents)
+	}
+	if f.Dropped == 0 {
+		t.Error("no packets dropped — the failure burst missed all traffic (weak test)")
+	}
+	if f.Retransmits != f.Dropped {
+		t.Errorf("retransmits %d != drops %d after drain", f.Retransmits, f.Dropped)
+	}
+	if f.Dropped > 0 && f.MaxRecovery <= 0 {
+		t.Error("drops happened but MaxRecovery was never set")
+	}
+	if res.Delivered != res.Generated {
+		t.Errorf("delivered %d of %d generated", res.Delivered, res.Generated)
+	}
+}
+
+// TestFaultDeterminism: two engines built from the same seed,
+// topology, workload, and MTBF-driven fault schedule must produce
+// byte-identical Results — guards the fault-injection RNG paths (drop
+// ordering, retransmission, rebuilds) against nondeterminism.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() sim.Results {
+		tp := mustMLFM(t, 4)
+		alg := routing.NewValiant(tp)
+		cfg := sim.TestConfig(alg.NumVCs())
+		net, err := sim.NewNetwork(tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.3, PacketFlits: cfg.PacketFlits()}
+		e, err := sim.NewEngine(net, alg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := sim.NewRandomFaultSchedule(tp, 3000, 500, 12000, cfg.Seed)
+		if err := e.SetFaultSchedule(fs); err != nil {
+			t.Fatal(err)
+		}
+		e.Warmup = 2000
+		e.Run(12000)
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Results()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+	if a.Faults.LinkDownEvents == 0 {
+		t.Error("MTBF schedule produced no failures (weak test)")
+	}
+}
+
+// TestLinkRepairRestoresRoutes: a link that fails and is later
+// repaired triggers a rebuild on each transition, and the network
+// keeps delivering across both.
+func TestLinkRepairRestoresRoutes(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	link := tp.Graph().Edges()[0]
+	w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.2, PacketFlits: 4}
+	e := buildEngine(t, tp, routing.NewMinimal(tp), w)
+	fs := sim.NewFaultSchedule([]sim.FaultEvent{
+		{Cycle: 1000, Link: link},
+		{Cycle: 3000, Link: link, Up: true},
+	})
+	if err := e.SetFaultSchedule(fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunChecked(6000, 200); err != nil {
+		t.Fatal(err)
+	}
+	f := e.Results().Faults
+	if f.LinkDownEvents != 1 || f.LinkUpEvents != 1 {
+		t.Errorf("transitions = (%d down, %d up), want (1, 1)", f.LinkDownEvents, f.LinkUpEvents)
+	}
+	if f.Rebuilds != 2 {
+		t.Errorf("rebuilds = %d, want 2 (one per transition)", f.Rebuilds)
+	}
+	if len(e.DownedLinks()) != 0 {
+		t.Errorf("links still marked down after repair: %v", e.DownedLinks())
+	}
+}
+
+// TestFaultSkipsDisconnecting: a failure that would disconnect the
+// router graph is refused (Degrade semantics) and counted, and the
+// network keeps delivering over the sole surviving link.
+func TestFaultSkipsDisconnecting(t *testing.T) {
+	tp, err := topo.ReadEdgeList(strings.NewReader("routers 2\nnodes 0 2\nnodes 1 2\n0 1\n"), "pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := traffic.AllToAll(tp.Nodes(), 2, nil)
+	e := buildEngine(t, tp, routing.NewMinimal(tp), ex)
+	fs := sim.NewFaultSchedule([]sim.FaultEvent{{Cycle: 10, Link: [2]int{0, 1}}})
+	if err := e.SetFaultSchedule(fs); err != nil {
+		t.Fatal(err)
+	}
+	if !e.RunUntilDrained(1_000_000) {
+		t.Fatalf("exchange did not drain: %+v", e.Results())
+	}
+	f := e.Results().Faults
+	if f.SkippedEvents != 1 || f.LinkDownEvents != 0 {
+		t.Errorf("skipped=%d downs=%d, want the disconnecting failure skipped", f.SkippedEvents, f.LinkDownEvents)
+	}
+}
+
+// TestSetFaultScheduleValidation: bad schedules and unsupported
+// algorithms are rejected up front.
+func TestSetFaultScheduleValidation(t *testing.T) {
+	tp := mustMLFM(t, 3)
+	w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.1, PacketFlits: 4}
+	e := buildEngine(t, tp, routing.NewMinimal(tp), w)
+	if err := e.SetFaultSchedule(sim.NewFaultSchedule([]sim.FaultEvent{{Cycle: 1, Link: [2]int{0, 1}}})); err == nil {
+		t.Error("nonexistent link accepted (MLFM local routers are never adjacent)")
+	}
+	link := tp.Graph().Edges()[0]
+	if err := e.SetFaultSchedule(sim.NewFaultSchedule([]sim.FaultEvent{{Cycle: -5, Link: link}})); err == nil {
+		t.Error("negative cycle accepted")
+	}
+	e.Run(1)
+	if err := e.SetFaultSchedule(sim.NewFaultSchedule(nil)); err == nil {
+		t.Error("mid-run attachment accepted")
+	}
+}
+
+// TestRandomLinkFailuresConnectivity: the seeded failure picker never
+// returns a set whose removal disconnects the router graph.
+func TestRandomLinkFailuresConnectivity(t *testing.T) {
+	tp := mustMLFM(t, 4)
+	for seed := int64(0); seed < 5; seed++ {
+		fs, err := sim.RandomLinkFailures(tp, 8, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var links [][2]int
+		for _, ev := range fs.Events {
+			links = append(links, ev.Link)
+		}
+		if _, err := topo.Degrade(tp, links); err != nil {
+			t.Errorf("seed %d: failure set rejected by Degrade: %v", seed, err)
+		}
+	}
+}

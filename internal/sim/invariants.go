@@ -14,17 +14,27 @@ import "fmt"
 //   - occupancy sanity: all occupancy and credit counters are
 //     non-negative and within capacity.
 func (e *Engine) CheckInvariants() error {
-	// Packet conservation.
-	var queued int64
+	// Packet conservation. Injections count events, so retransmissions
+	// of fault-dropped packets re-count: first-time injections are
+	// injected - retransmits.
+	var queued, retxQueued int64
 	for _, nd := range e.Net.Nodes {
 		queued += int64(nd.srcQ.len())
+		retxQueued += int64(len(nd.retxQ))
 	}
-	if e.generated != e.injected+queued {
-		return fmt.Errorf("sim: generated %d != injected %d + source-queued %d",
-			e.generated, e.injected, queued)
+	if e.generated != e.injected-e.retransmits+queued {
+		return fmt.Errorf("sim: generated %d != injected %d - retransmits %d + source-queued %d",
+			e.generated, e.injected, e.retransmits, queued)
 	}
 	if e.delivered > e.injected {
 		return fmt.Errorf("sim: delivered %d > injected %d", e.delivered, e.injected)
+	}
+	if inNet := e.injected - e.delivered - e.droppedPkts; inNet < 0 {
+		return fmt.Errorf("sim: negative in-network count %d (injected %d, delivered %d, dropped %d)",
+			inNet, e.injected, e.delivered, e.droppedPkts)
+	}
+	if retxQueued != e.retxWaiting {
+		return fmt.Errorf("sim: retransmission queues hold %d packets, counter says %d", retxQueued, e.retxWaiting)
 	}
 
 	// Counter sanity.

@@ -37,6 +37,10 @@ type Router struct {
 	inCount  int // packets currently buffered in input queues
 	outCount int // packets currently buffered in output queues
 
+	// portDown marks network ports whose link is currently failed.
+	// Nil unless a fault schedule is attached (see fault.go).
+	portDown []bool
+
 	// pendingOut[port] counts flits sitting in this router's input
 	// buffers whose (cached) route decision targets the port — the
 	// virtual-output-queue load. Together with the output buffer
@@ -59,11 +63,14 @@ type Network struct {
 }
 
 // Node is an end-node: a bounded source queue feeding the terminal
-// link to its router, plus the ejection sink.
+// link to its router, plus the ejection sink. When fault injection is
+// active the node also holds its retransmission queue — packets the
+// network dropped that will be re-injected once their timeout expires.
 type Node struct {
 	ID       int
 	Router   int
 	srcQ     queue
+	retxQ    []retxEntry
 	linkFree int64
 	credits  []int // per VC: free space in the router's terminal input buffer
 }

@@ -18,6 +18,10 @@ type Packet struct {
 	Intermediate int  // intermediate router for indirect routes, else -1
 	PhaseTwo     bool // indirect routes: intermediate already reached
 	VC           int  // VC assigned on the current link
+
+	// Fault-injection state (see fault.go).
+	Retx      int   // times this packet was dropped by a link failure
+	FirstDrop int64 // cycle of the first drop (valid when Retx > 0)
 }
 
 // queue is a FIFO of buffer entries backed by a slice with an

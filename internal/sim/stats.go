@@ -6,7 +6,7 @@ type Results struct {
 	Warmup int64
 
 	Generated int64 // packets created at source queues
-	Injected  int64 // packets that entered the network
+	Injected  int64 // injection events (retransmissions re-count)
 	Delivered int64 // packets whose tail reached the destination node
 
 	// Throughput is the delivered load during the measurement window,
@@ -23,6 +23,10 @@ type Results struct {
 	AvgNetLatency float64 // injection -> delivery, cycles (excludes source queueing)
 	AvgHops       float64
 	IndirectFrac  float64 // fraction of measured packets routed non-minimally
+
+	// Faults summarizes fault-injection activity (all zero without a
+	// fault schedule).
+	Faults FaultStats
 }
 
 // Results computes the summary at the current cycle.
@@ -48,6 +52,7 @@ func (e *Engine) Results() Results {
 	if n := e.latGen.N(); n > 0 {
 		res.IndirectFrac = float64(e.indirectN) / float64(n)
 	}
+	res.Faults = e.FaultStats()
 	return res
 }
 

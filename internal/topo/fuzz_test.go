@@ -45,3 +45,51 @@ func FuzzReadEdgeList(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDegrade throws random link sets at Degrade: whatever the input,
+// it must either return an error or a connected degraded graph with no
+// stranded endpoint router. Fuzz bytes are consumed pairwise as edge
+// indices into the base topology, so duplicates and arbitrary subsets
+// are all reachable.
+func FuzzDegrade(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{5, 5}) // duplicate link
+	f.Add([]byte{0, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	base, err := NewMLFM(3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	edges := base.Graph().Edges()
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var failed [][2]int
+		for i := 0; i+1 < len(in); i += 2 {
+			idx := (int(in[i])<<8 | int(in[i+1])) % len(edges)
+			failed = append(failed, edges[idx])
+		}
+		d, err := Degrade(base, failed)
+		if err != nil {
+			return
+		}
+		g := d.Graph()
+		if !g.Connected() {
+			t.Fatalf("Degrade accepted a disconnecting set of %d links", len(failed))
+		}
+		if g.NumEdges() != base.Graph().NumEdges()-len(failed) {
+			t.Fatalf("degraded graph has %d edges, want %d-%d",
+				g.NumEdges(), base.Graph().NumEdges(), len(failed))
+		}
+		// No endpoint router (one with attached nodes) may be stranded
+		// with zero live links.
+		for n := 0; n < d.Nodes(); n++ {
+			if r := d.NodeRouter(n); g.Degree(r) == 0 {
+				t.Fatalf("node %d's router %d stranded with no links", n, r)
+			}
+		}
+		for _, l := range failed {
+			if g.HasEdge(l[0], l[1]) {
+				t.Fatalf("failed link (%d,%d) still present", l[0], l[1])
+			}
+		}
+	})
+}
