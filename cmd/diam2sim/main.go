@@ -13,8 +13,11 @@
 // Topologies: sf9, sf10, mlfm, oft (paper configs), sf-small,
 // mlfm-small, oft-small, or file:PATH to load an edge-list topology
 // (see topo.ReadEdgeList). Algorithms: min, inr, a, ath. Patterns:
-// uni, wc. Exchanges: a2a, nn (override -pattern). -saturate runs a
-// binary search for the saturation load instead of a single point.
+// uni, wc. Exchanges: a2a, nn (override -pattern). -saturate sweeps
+// the default load ladder through the experiment scheduler and
+// reports the highest load whose delivered throughput tracks the
+// offer within 5%; -j sets the pool size (0: all CPUs) and -progress
+// reports each completed point on stderr.
 //
 // Fault injection: -fail-links downs a random (seeded) set of router
 // links at cycle -fail-at; -mtbf instead drives a continuous per-link
@@ -25,11 +28,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"diam2/internal/harness"
 	"diam2/internal/sim"
@@ -48,7 +54,9 @@ func main() {
 		ni       = flag.Int("ni", 0, "override UGAL nI")
 		c        = flag.Float64("c", 0, "override UGAL cost constant (c or cSF)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		saturate = flag.Bool("saturate", false, "binary-search the saturation load instead of one run")
+		saturate = flag.Bool("saturate", false, "sweep the load ladder for the saturation load instead of one run")
+		jobs     = flag.Int("j", 0, "worker-pool size for -saturate (0: all CPUs, 1: serial)")
+		progress = flag.Bool("progress", false, "report each completed sweep point on stderr")
 
 		failLinks  = flag.Float64("fail-links", 0, "links to fail mid-run: a fraction (< 1) or a count (>= 1)")
 		failAt     = flag.Int64("fail-at", -1, "cycle at which -fail-links links go down (default: end of warmup)")
@@ -70,7 +78,9 @@ func main() {
 	} else {
 		fp.FailFrac = *failLinks
 	}
-	if err := run(*topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, fp); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, *jobs, *progress, fp); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sim:", err)
 		os.Exit(1)
 	}
@@ -136,7 +146,7 @@ func parseAlg(name string) (harness.AlgKind, error) {
 	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
-func run(topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool, fp harness.FaultPlan) error {
+func run(ctx context.Context, topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool, jobs int, progress bool, fp harness.FaultPlan) error {
 	preset, err := findPreset(topoName)
 	if err != nil {
 		return err
@@ -156,6 +166,12 @@ func run(topoName, algName, pattern, exchange string, load float64, scaleName st
 	}
 	sc.Seed = seed
 	sc.Faults = fp
+	sc.Sched = harness.Sched{Workers: jobs, Ctx: ctx}
+	if progress {
+		sc.Sched.OnPoint = func(done, total int, key string, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", done, total, key, elapsed.Round(time.Millisecond))
+		}
+	}
 	ugal := preset.BestAdaptive
 	if ni > 0 {
 		ugal.NI = ni
@@ -221,11 +237,18 @@ func run(topoName, algName, pattern, exchange string, load float64, scaleName st
 		return fmt.Errorf("unknown pattern %q", pattern)
 	}
 	if saturate {
-		sat, err := harness.FindSaturation(tp, alg, ugal, pat, 0.02, 1.0, 0.05, 6, sc)
+		// The load ladder is a set of independent runs, so it goes
+		// through the experiment scheduler and parallelizes with -j.
+		start := time.Now()
+		sat, curve, err := harness.SaturationPoint(tp, alg, ugal, pat, harness.DefaultLoads(), 0.05, sc)
 		if err != nil {
 			return err
 		}
+		for _, p := range curve {
+			fmt.Printf("load %.2f: throughput %.3f, avg latency %.0f cycles\n", p.Load, p.Throughput, p.AvgLatency)
+		}
 		fmt.Printf("saturation load (%s, %s): %.3f of injection bandwidth\n", pattern, algName, sat)
+		fmt.Fprintf(os.Stderr, "diam2sim: %d points in %s wall time\n", len(curve), time.Since(start).Round(time.Millisecond))
 		return nil
 	}
 	res, err := harness.RunSynthetic(tp, alg, ugal, pat, load, sc)

@@ -227,6 +227,13 @@ type (
 	LoadPoint = harness.LoadPoint
 	// ResultTable is a renderable experiment output.
 	ResultTable = harness.Table
+	// Sched carries the experiment-scheduler knobs (worker count,
+	// progress callback, cancellation) of Scale.Sched; the zero value
+	// fans sweeps out across GOMAXPROCS workers with byte-identical
+	// results for any worker count.
+	Sched = harness.Sched
+	// SweepProgress observes completed sweep points (Sched.OnPoint).
+	SweepProgress = harness.Progress
 )
 
 // Harness enums.
@@ -264,6 +271,9 @@ var (
 	DefaultLoads      = harness.DefaultLoads
 	Replicate         = harness.Replicate
 	FindSaturation    = harness.FindSaturation
+	// DeriveSeed maps (base seed, point key) to a sweep point's seed —
+	// the determinism contract behind parallel sweeps (DESIGN.md §9).
+	DeriveSeed = harness.DeriveSeed
 )
 
 // ReplicationStats summarizes independent replications of one

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"diam2/internal/sim"
+)
+
+// This file is the serial-vs-parallel equivalence suite: every figure
+// family runs once with Workers=1 and once with Workers=4 at
+// QuickScale (trimmed), and the rendered Table output — text, CSV and
+// charts — must be byte-identical. This is the determinism contract of
+// scheduler.go observed end to end, through the figure generators, the
+// simulator and the renderer.
+
+// renderAll flattens a Table (text + CSV + charts) to one string so a
+// byte-level comparison covers everything a sweep produces.
+func renderAll(t *testing.T, tb *Table) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString("\n--csv--\n")
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString("\n--charts--\n")
+	for _, c := range tb.Charts {
+		fmt.Fprintf(&sb, "%v\n", *c)
+	}
+	return sb.String()
+}
+
+// eqScale trims QuickScale further: the suite runs every figure family
+// twice, so each point must stay in the low tens of milliseconds.
+func eqScale(workers int) Scale {
+	sc := QuickScale()
+	sc.Cycles = 6000
+	sc.Warmup = 1200
+	sc.A2APackets = 1
+	sc.NNPackets = 2
+	sc.Sched = Sched{Workers: workers}
+	return sc
+}
+
+// assertEquivalent runs gen serially and with a 4-worker pool and
+// compares the rendered output byte for byte.
+func assertEquivalent(t *testing.T, name string, gen func(sc Scale) (*Table, error)) {
+	t.Helper()
+	serialTab, err := gen(eqScale(1))
+	if err != nil {
+		t.Fatalf("%s serial: %v", name, err)
+	}
+	parallelTab, err := gen(eqScale(4))
+	if err != nil {
+		t.Fatalf("%s parallel: %v", name, err)
+	}
+	serial, parallel := renderAll(t, serialTab), renderAll(t, parallelTab)
+	if serial != parallel {
+		t.Errorf("%s: serial and 4-worker output differ\n--- serial ---\n%s\n--- workers=4 ---\n%s", name, serial, parallel)
+	}
+}
+
+func TestEquivalenceFig6UNI(t *testing.T) {
+	presets := SmallPresets()[1:2] // MLFM(h=6): cheapest preset with both oblivious algs
+	loads := []float64{0.3, 0.8}
+	assertEquivalent(t, "fig6-uni", func(sc Scale) (*Table, error) {
+		return Fig6Oblivious(presets, PatUNI, loads, sc)
+	})
+}
+
+func TestEquivalenceFig6WC(t *testing.T) {
+	// Worst-case traffic exercises the PatternSeed pinning: the WC
+	// permutation must come from the base seed on every worker.
+	presets := SmallPresets()[1:2]
+	assertEquivalent(t, "fig6-wc", func(sc Scale) (*Table, error) {
+		return Fig6Oblivious(presets, PatWC, []float64{1.0}, sc)
+	})
+}
+
+func TestEquivalenceAdaptiveSweep(t *testing.T) {
+	p := SmallPresets()[1]
+	assertEquivalent(t, "adaptive", func(sc Scale) (*Table, error) {
+		return AdaptiveSweep(p, AlgA, []int{1, 4}, nil, 1, 2, []float64{0.3, 0.9}, sc)
+	})
+}
+
+func TestEquivalenceExchangeA2A(t *testing.T) {
+	presets := SmallPresets()[1:2]
+	assertEquivalent(t, "exchange-a2a", func(sc Scale) (*Table, error) {
+		return FigExchange(presets, ExA2A, sc)
+	})
+}
+
+func TestEquivalenceExchangeNN(t *testing.T) {
+	presets := SmallPresets()[2:3] // OFT(k=6) embeds the NN torus
+	assertEquivalent(t, "exchange-nn", func(sc Scale) (*Table, error) {
+		return FigExchange(presets, ExNN, sc)
+	})
+}
+
+func TestEquivalenceResilience(t *testing.T) {
+	// Seeded resilience sweep: the random failure set of each point
+	// must come from the derived point seed, not from worker order.
+	presets := SmallPresets()[1:2]
+	assertEquivalent(t, "resilience", func(sc Scale) (*Table, error) {
+		return FigResilience(presets, []AlgKind{AlgMIN}, []PatternKind{PatUNI}, []float64{0, 0.05, 0.1}, 0.2, sc)
+	})
+}
+
+func TestEquivalenceSaturationLadder(t *testing.T) {
+	p := SmallPresets()[1]
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) string {
+		sat, curve, err := SaturationPoint(tp, AlgMIN, p.BestAdaptive, PatUNI, []float64{0.2, 0.5, 0.8}, 0.05, eqScale(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return fmt.Sprintf("sat=%.6f curve=%v", sat, curve)
+	}
+	if serial, parallel := run(1), run(4); serial != parallel {
+		t.Errorf("saturation ladder differs:\nserial:    %s\nworkers=4: %s", serial, parallel)
+	}
+}
+
+// TestEquivalenceRepeatParallel runs the same parallel sweep twice:
+// with four workers racing over the points both times, any dependence
+// on scheduling order would show up as run-to-run noise.
+func TestEquivalenceRepeatParallel(t *testing.T) {
+	presets := SmallPresets()[1:2]
+	gen := func() string {
+		tab, err := Fig6Oblivious(presets, PatUNI, []float64{0.3, 0.8}, eqScale(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderAll(t, tab)
+	}
+	if a, b := gen(), gen(); a != b {
+		t.Errorf("two 4-worker runs of the same sweep differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestConcurrentRunsIndependent is the shared-state guard behind the
+// scheduler: the same simulation point run twice at once, on one
+// shared topology instance, must produce identical results. A hidden
+// global (math/rand, a cached route table mutated per run) would make
+// the two interleaved runs diverge or trip the race detector.
+func TestConcurrentRunsIndependent(t *testing.T) {
+	p := SmallPresets()[1]
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := eqScale(1)
+	const runs = 4
+	results := make([]sim.Results, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = RunSynthetic(tp, AlgA, p.BestAdaptive, PatWC, 0.6, sc)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Errorf("concurrent identical runs diverged:\nrun 0: %+v\nrun %d: %+v", results[0], i, results[i])
+		}
+	}
+}

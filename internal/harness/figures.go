@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"diam2/internal/plot"
+	"diam2/internal/sim"
 	"diam2/internal/topo"
 	"diam2/internal/traffic"
 )
@@ -29,19 +31,38 @@ func Fig6Oblivious(presets []Preset, pat PatternKind, loads []float64, scale Sca
 	}
 	thrChart := &plot.Chart{Title: t.Title, XLabel: "offered load", YLabel: "delivered throughput"}
 	latChart := &plot.Chart{Title: t.Title + " — latency", XLabel: "offered load", YLabel: "avg latency (cycles)"}
+	kinds := []AlgKind{AlgMIN, AlgINR}
+	// Topologies are immutable once built, so one instance per preset
+	// is shared by every point of the sweep.
+	var points []Point[sim.Results]
 	for _, p := range presets {
 		tp, err := p.Build()
 		if err != nil {
 			return nil, err
 		}
-		for _, kind := range []AlgKind{AlgMIN, AlgINR} {
+		for _, kind := range kinds {
+			for _, load := range loads {
+				points = append(points, Point[sim.Results]{
+					Key: fmt.Sprintf("fig6|%s|%s|%s|load=%.4f", p.Name, kind, pat, load),
+					Run: func(_ context.Context, seed int64) (sim.Results, error) {
+						return RunSynthetic(tp, kind, p.BestAdaptive, pat, load, scale.forPoint(seed))
+					},
+				})
+			}
+		}
+	}
+	results, err := Collect(scale, points)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, p := range presets {
+		for _, kind := range kinds {
 			thr := plot.Series{Label: p.Name + " " + kind.String()}
 			lat := plot.Series{Label: thr.Label}
 			for _, load := range loads {
-				res, err := RunSynthetic(tp, kind, p.BestAdaptive, pat, load, scale)
-				if err != nil {
-					return nil, err
-				}
+				res := results[i]
+				i++
 				t.AddRow(p.Name, kind.String(), f2(load), f3(res.Throughput), f1(res.AvgLatency))
 				thr.X = append(thr.X, load)
 				thr.Y = append(thr.Y, res.Throughput)
@@ -72,23 +93,51 @@ func AdaptiveSweep(p Preset, kind AlgKind, varyNI []int, varyC []float64, fixedN
 	}
 	thrChart := &plot.Chart{Title: t.Title, XLabel: "offered load", YLabel: "delivered throughput"}
 	latChart := &plot.Chart{Title: t.Title + " — latency", XLabel: "offered load", YLabel: "avg latency (cycles)"}
-	addRuns := func(ni int, c float64) error {
+	type variant struct {
+		ni int
+		c  float64
+	}
+	var variants []variant
+	for _, ni := range varyNI {
+		variants = append(variants, variant{ni, fixedC})
+	}
+	for _, c := range varyC {
+		variants = append(variants, variant{fixedNI, c})
+	}
+	pats := []PatternKind{PatUNI, PatWC}
+	var points []Point[sim.Results]
+	for _, v := range variants {
 		cfg := p.BestAdaptive
-		cfg.NI = ni
+		cfg.NI = v.ni
 		if p.SFStyle {
-			cfg.CSF = c
+			cfg.CSF = v.c
 		} else {
-			cfg.C = c
+			cfg.C = v.c
 		}
-		for _, pat := range []PatternKind{PatUNI, PatWC} {
-			thr := plot.Series{Label: fmt.Sprintf("%s nI=%d c=%g", pat, ni, c)}
+		for _, pat := range pats {
+			for _, load := range loads {
+				points = append(points, Point[sim.Results]{
+					Key: fmt.Sprintf("adaptive|%s|%s|nI=%d|c=%g|%s|load=%.4f", p.Name, kind, v.ni, v.c, pat, load),
+					Run: func(_ context.Context, seed int64) (sim.Results, error) {
+						return RunSynthetic(tp, kind, cfg, pat, load, scale.forPoint(seed))
+					},
+				})
+			}
+		}
+	}
+	results, err := Collect(scale, points)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, v := range variants {
+		for _, pat := range pats {
+			thr := plot.Series{Label: fmt.Sprintf("%s nI=%d c=%g", pat, v.ni, v.c)}
 			lat := plot.Series{Label: thr.Label}
 			for _, load := range loads {
-				res, err := RunSynthetic(tp, kind, cfg, pat, load, scale)
-				if err != nil {
-					return err
-				}
-				t.AddRow(pat.String(), d(ni), f2(c), f2(load), f3(res.Throughput), f1(res.AvgLatency), f3(res.IndirectFrac))
+				res := results[i]
+				i++
+				t.AddRow(pat.String(), d(v.ni), f2(v.c), f2(load), f3(res.Throughput), f1(res.AvgLatency), f3(res.IndirectFrac))
 				thr.X = append(thr.X, load)
 				thr.Y = append(thr.Y, res.Throughput)
 				lat.X = append(lat.X, load)
@@ -96,17 +145,6 @@ func AdaptiveSweep(p Preset, kind AlgKind, varyNI []int, varyC []float64, fixedN
 			}
 			thrChart.Add(thr)
 			latChart.Add(lat)
-		}
-		return nil
-	}
-	for _, ni := range varyNI {
-		if err := addRuns(ni, fixedC); err != nil {
-			return nil, err
-		}
-	}
-	for _, c := range varyC {
-		if err := addRuns(fixedNI, c); err != nil {
-			return nil, err
 		}
 	}
 	t.Charts = []*plot.Chart{thrChart, latChart}
@@ -122,12 +160,14 @@ const (
 	ExNN                      // 3-D torus nearest neighbor
 )
 
-// buildExchange constructs the exchange workload for a topology.
+// buildExchange constructs the exchange workload for a topology. The
+// all-to-all shuffle draws from the scale's pattern seed so every
+// algorithm of a figure runs the identical exchange.
 func buildExchange(tp topo.Topology, kind ExchangeKind, scale Scale) (*traffic.Exchange, error) {
 	nodes := tp.Nodes()
 	switch kind {
 	case ExA2A:
-		return traffic.AllToAll(nodes, scale.A2APackets, rand.New(rand.NewSource(scale.Seed))), nil
+		return traffic.AllToAll(nodes, scale.A2APackets, rand.New(rand.NewSource(scale.patternSeed()))), nil
 	case ExNN:
 		tor, err := traffic.TorusFor(tp)
 		if err != nil {
@@ -151,25 +191,49 @@ func FigExchange(presets []Preset, kind ExchangeKind, scale Scale) (*Table, erro
 		Title:  fmt.Sprintf("Fig. %s: effective throughput for one %s exchange", fig, label),
 		Header: []string{"topology", "routing", "effective throughput", "completion (cycles)"},
 	}
+	algs := []AlgKind{AlgMIN, AlgINR, AlgA}
+	type exResult struct {
+		res sim.Results
+		eff float64
+	}
+	var points []Point[exResult]
 	for _, p := range presets {
 		tp, err := p.Build()
 		if err != nil {
 			return nil, err
 		}
-		for _, alg := range []AlgKind{AlgMIN, AlgINR, AlgA} {
-			ex, err := buildExchange(tp, kind, scale)
-			if err != nil {
-				return nil, err
-			}
-			res, eff, err := RunExchange(tp, alg, p.BestAdaptive, ex, scale)
-			if err != nil {
-				return nil, err
-			}
+		for _, alg := range algs {
+			points = append(points, Point[exResult]{
+				Key: fmt.Sprintf("exchange|%s|%s|%s", label, p.Name, alg),
+				Run: func(_ context.Context, seed int64) (exResult, error) {
+					sc := scale.forPoint(seed)
+					// Each point builds its own workload instance: the
+					// Exchange tracks per-pair progress and must not be
+					// shared between concurrent engines.
+					ex, err := buildExchange(tp, kind, sc)
+					if err != nil {
+						return exResult{}, err
+					}
+					res, eff, err := RunExchange(tp, alg, p.BestAdaptive, ex, sc)
+					return exResult{res, eff}, err
+				},
+			})
+		}
+	}
+	results, err := Collect(scale, points)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, p := range presets {
+		for _, alg := range algs {
+			r := results[i]
+			i++
 			name := alg.String()
 			if alg == AlgA {
 				name = p.Name[:pfxLen(p.Name)] + "-A"
 			}
-			t.AddRow(p.Name, name, f3(eff), d(int(res.Cycles)))
+			t.AddRow(p.Name, name, f3(r.eff), d(int(r.res.Cycles)))
 		}
 	}
 	return t, nil

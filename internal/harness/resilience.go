@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"diam2/internal/plot"
@@ -113,24 +114,46 @@ func resilienceFailAt(sc Scale) int64 {
 // algorithm and traffic pattern, sweep the fraction of failed links
 // and record delivered throughput, tail latency, retransmission
 // counts, and recovery time. Links fail mid-measurement (a quarter
-// into the window); the random failure set is drawn from the scale's
-// seed, so the sweep is deterministic.
+// into the window). Every (algorithm, pattern, fraction) point is
+// independent and runs through the experiment scheduler; the random
+// failure set of a point is drawn from its derived seed, so the sweep
+// is deterministic for any worker count.
 func ResilienceSweep(pre Preset, kinds []AlgKind, pats []PatternKind, fracs []float64, load float64, sc Scale) ([]ResilienceCurve, error) {
 	tp, err := pre.Build()
 	if err != nil {
 		return nil, err
 	}
+	var points []Point[sim.Results]
+	for _, kind := range kinds {
+		for _, pat := range pats {
+			for _, frac := range fracs {
+				points = append(points, Point[sim.Results]{
+					Key: fmt.Sprintf("resilience|%s|%s|%s|frac=%.4f|load=%.4f", pre.Name, kind, pat, frac, load),
+					Run: func(_ context.Context, seed int64) (sim.Results, error) {
+						scf := sc.forPoint(seed)
+						scf.Faults = FaultPlan{FailFrac: frac, FailAt: resilienceFailAt(sc)}
+						res, err := RunSynthetic(tp, kind, pre.BestAdaptive, pat, load, scf)
+						if err != nil {
+							return sim.Results{}, fmt.Errorf("resilience %s %s %s frac %.2f: %w", pre.Name, kind, pat, frac, err)
+						}
+						return res, nil
+					},
+				})
+			}
+		}
+	}
+	results, err := Collect(sc, points)
+	if err != nil {
+		return nil, err
+	}
 	var out []ResilienceCurve
+	i := 0
 	for _, kind := range kinds {
 		for _, pat := range pats {
 			curve := ResilienceCurve{Preset: pre.Name, Alg: kind, Pattern: pat}
 			for _, frac := range fracs {
-				scf := sc
-				scf.Faults = FaultPlan{FailFrac: frac, FailAt: resilienceFailAt(sc)}
-				res, err := RunSynthetic(tp, kind, pre.BestAdaptive, pat, load, scf)
-				if err != nil {
-					return nil, fmt.Errorf("resilience %s %s %s frac %.2f: %w", pre.Name, kind, pat, frac, err)
-				}
+				res := results[i]
+				i++
 				curve.Points = append(curve.Points, ResiliencePoint{
 					Frac:        frac,
 					FailedLinks: res.Faults.LinkDownEvents,

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -21,9 +22,22 @@ type Scale struct {
 	NNPackets  int   // packets per neighbor in the NN exchange
 	Paper      bool  // use the paper's switch parameters
 	Seed       int64
+	// PatternSeed, when nonzero, seeds the traffic-structure draws
+	// (the worst-case permutation, the all-to-all packet shuffle)
+	// separately from Seed; zero falls back to Seed. Sweep generators
+	// set it to the sweep's base seed before overriding Seed per
+	// point, so every algorithm of a figure competes on the identical
+	// workload while the engines draw independent streams.
+	PatternSeed int64
 	// Faults optionally injects dynamic link failures into every run
 	// at this scale (see resilience.go); the zero value injects none.
 	Faults FaultPlan
+	// Sched carries the experiment-scheduler knobs (worker count,
+	// progress callback, cancellation); see scheduler.go. The zero
+	// value fans sweeps out across GOMAXPROCS workers. Results are
+	// identical for any worker count: every sweep point runs with a
+	// seed derived from (Seed, point key), not from execution order.
+	Sched Sched
 }
 
 // PaperScale is the Section 4.1 setup: 200 us simulated, 20 us
@@ -49,7 +63,8 @@ func PaperScale() Scale {
 // EXPERIMENTS.md. Shapes match the paper; absolute saturation points
 // shift slightly with network size, and exchange messages are scaled
 // down (10-packet A2A pairs, 512-packet NN messages) to keep the full
-// figure set to about an hour of CPU on one core.
+// figure set to about an hour of CPU — wall time divides by the core
+// count when the sweep fans out (diam2sweep -j).
 func MediumScale() Scale {
 	cfg := sim.DefaultConfig(1)
 	return Scale{
@@ -75,6 +90,23 @@ func QuickScale() Scale {
 		NNPackets:  8,
 		Seed:       1,
 	}
+}
+
+// patternSeed returns the seed for traffic-structure draws.
+func (s Scale) patternSeed() int64 {
+	if s.PatternSeed != 0 {
+		return s.PatternSeed
+	}
+	return s.Seed
+}
+
+// forPoint returns the scale a sweep point runs with: the point's
+// derived seed drives the engine and fault draws, while the traffic
+// structure stays pinned to the sweep's base seed.
+func (s Scale) forPoint(seed int64) Scale {
+	s.PatternSeed = s.patternSeed()
+	s.Seed = seed
+	return s
 }
 
 // SimConfig returns the switch configuration for this scale and VC
@@ -119,7 +151,7 @@ func RunSynthetic(t topo.Topology, kind AlgKind, ugal UGALConfig, pat PatternKin
 	case PatUNI:
 		pattern = traffic.Uniform{N: t.Nodes()}
 	case PatWC:
-		wc, err := traffic.WorstCase(t, rand.New(rand.NewSource(scale.Seed)))
+		wc, err := traffic.WorstCase(t, rand.New(rand.NewSource(scale.patternSeed())))
 		if err != nil {
 			return sim.Results{}, err
 		}
@@ -174,15 +206,26 @@ func RunExchange(t topo.Topology, kind AlgKind, ugal UGALConfig, ex *traffic.Exc
 
 // SaturationPoint sweeps offered load and returns the highest load at
 // which delivered throughput still tracks the offer within tol
-// (e.g. 0.05 = 5%), along with the full curve.
+// (e.g. 0.05 = 5%), along with the full curve. The load ladder runs
+// through the experiment scheduler (scale.Sched), one point per load.
 func SaturationPoint(t topo.Topology, kind AlgKind, ugal UGALConfig, pat PatternKind, loads []float64, tol float64, scale Scale) (float64, []LoadPoint, error) {
-	var curve []LoadPoint
-	sat := 0.0
+	points := make([]Point[sim.Results], 0, len(loads))
 	for _, load := range loads {
-		res, err := RunSynthetic(t, kind, ugal, pat, load, scale)
-		if err != nil {
-			return 0, nil, err
-		}
+		points = append(points, Point[sim.Results]{
+			Key: fmt.Sprintf("sat|%s|%s|%s|load=%.4f", t.Name(), kind, pat, load),
+			Run: func(_ context.Context, seed int64) (sim.Results, error) {
+				return RunSynthetic(t, kind, ugal, pat, load, scale.forPoint(seed))
+			},
+		})
+	}
+	results, err := Collect(scale, points)
+	if err != nil {
+		return 0, nil, err
+	}
+	curve := make([]LoadPoint, 0, len(loads))
+	sat := 0.0
+	for i, load := range loads {
+		res := results[i]
 		curve = append(curve, LoadPoint{Load: load, Throughput: res.Throughput, AvgLatency: res.AvgLatency})
 		if res.Throughput >= load*(1-tol) {
 			sat = load

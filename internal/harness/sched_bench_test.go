@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"testing"
+)
+
+// benchSweep is the Fig. 6 battery the scheduler benchmarks fan out:
+// one preset, two oblivious algorithms, four loads — eight independent
+// points. The speedup of BenchmarkSweepParallel over
+// BenchmarkSweepSerial is bounded by GOMAXPROCS; on a single-core
+// machine the two are expected to tie (the parallel path then only
+// measures scheduler overhead).
+func benchSweep(b *testing.B, workers int) {
+	presets := SmallPresets()[1:2] // MLFM(h=6)
+	loads := []float64{0.2, 0.4, 0.6, 0.8}
+	sc := QuickScale()
+	sc.Cycles = 6000
+	sc.Warmup = 1200
+	sc.Sched = Sched{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig6Oblivious(presets, PatUNI, loads, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 4) }

@@ -1,0 +1,302 @@
+package harness
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// This file implements the experiment scheduler: every sweep in this
+// package (figure batteries, saturation ladders, resilience sweeps)
+// enumerates its independent simulation points and submits them here,
+// and the scheduler fans them out across a worker pool.
+//
+// The determinism contract: a sweep's output is a pure function of its
+// parameters and the scale's seed, independent of the worker count and
+// of scheduling order. Two mechanisms enforce it:
+//
+//   - Per-point seeds are derived from the point's stable key, not
+//     from worker identity or completion order: seed =
+//     DeriveSeed(scale.Seed, key). A point therefore draws the same
+//     random stream whether it runs first on one worker or last on
+//     sixteen.
+//   - Results are emitted to the caller in submission order from the
+//     calling goroutine, whatever order the workers finish in.
+//
+// Individual runs were audited to share no mutable state: each
+// sim.Engine owns its *rand.Rand (seeded from sim.Config.Seed), every
+// routing algorithm builds its own tables per run, and topologies are
+// immutable after construction, so one topology instance is safely
+// shared by all workers of a sweep.
+
+// Point is one independent experiment of a sweep: a stable key that
+// identifies it (and derives its seed) plus the function that runs it.
+// Run receives the point's derived seed and the scheduler's context;
+// long-running points may honor ctx cancellation, but the scheduler
+// only guarantees that no *new* point starts after cancellation.
+type Point[T any] struct {
+	Key string
+	Run func(ctx context.Context, seed int64) (T, error)
+}
+
+// Progress observes sweep progress: it is called once per completed
+// point, in completion order, from the collecting goroutine (never
+// concurrently). done counts completed points, total is the sweep
+// size, and elapsed is the point's own run time.
+type Progress func(done, total int, key string, elapsed time.Duration)
+
+// Sched carries the fan-out knobs of a sweep; it rides along a Scale
+// so generator signatures stay stable. The zero value uses one worker
+// per available CPU (GOMAXPROCS) with no progress reporting.
+type Sched struct {
+	// Workers is the worker-pool size: 1 runs serially on the calling
+	// goroutine, <= 0 means GOMAXPROCS.
+	Workers int
+	// Window bounds the results buffered ahead of the in-order emit
+	// frontier (the scheduler's only unbounded-memory risk when one
+	// early point is much slower than its successors). <= 0 picks
+	// 4x the worker count; values below the worker count would only
+	// idle workers and are raised to it.
+	Window int
+	// OnPoint, if set, observes every completed point.
+	OnPoint Progress
+	// Ctx, if set, cancels the sweep; nil means context.Background().
+	// (A context in a struct is unidiomatic, but Sched is a per-call
+	// options bag threaded through existing Scale-typed parameters.)
+	Ctx context.Context
+}
+
+func (s Sched) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+// workers resolves the pool size for a sweep of n points.
+func (s Sched) workers(n int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (s Sched) window(workers int) int {
+	w := s.Window
+	if w <= 0 {
+		w = 4 * workers
+	}
+	if w < workers {
+		w = workers
+	}
+	return w
+}
+
+// DeriveSeed maps (base seed, point key) to the seed a point runs
+// with: FNV-1a over the base seed's bytes followed by the key. Points
+// of one sweep draw independent, reproducible random streams that do
+// not depend on execution order.
+func DeriveSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	io.WriteString(h, key)
+	return int64(h.Sum64())
+}
+
+// PanicError wraps a panic captured from a point so one bad parameter
+// combination fails its sweep with context instead of killing the
+// process (or, worse, a worker goroutine taking the whole pool down).
+type PanicError struct {
+	Key   string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("harness: point %s panicked: %v\n%s", p.Key, p.Value, p.Stack)
+}
+
+// runPoint executes one point with panic capture.
+func runPoint[T any](ctx context.Context, p Point[T], seed int64) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Key: p.Key, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	res, err = p.Run(ctx, seed)
+	if err != nil {
+		err = fmt.Errorf("point %s: %w", p.Key, err)
+	}
+	return res, err
+}
+
+// outcome is one finished point traveling from a worker to the collector.
+type outcome[T any] struct {
+	i       int
+	res     T
+	err     error
+	elapsed time.Duration
+}
+
+// RunPoints executes the points of a sweep on sc.Sched's worker pool
+// and calls emit(i, result) for every point, in submission order, from
+// the calling goroutine. Each point runs with its derived seed (see
+// DeriveSeed), so the emitted results are identical for any worker
+// count. The first point error (or emit error, or cancellation of
+// sc.Sched.Ctx) stops the sweep: no new points start, in-flight points
+// finish and are discarded, and that first error is returned.
+func RunPoints[T any](sc Scale, points []Point[T], emit func(i int, res T) error) error {
+	ctx := sc.Sched.context()
+	n := len(points)
+	if n == 0 {
+		return ctx.Err()
+	}
+	w := sc.Sched.workers(n)
+	if w == 1 {
+		return runSerial(ctx, sc, points, emit)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	window := sc.Sched.window(w)
+	sem := make(chan struct{}, window) // dispatched-but-not-emitted bound
+	indices := make(chan int)
+	results := make(chan outcome[T], w)
+
+	go func() { // dispatcher
+		defer close(indices)
+		for i := range points {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				start := time.Now()
+				res, err := runPoint(ctx, points[i], DeriveSeed(sc.Seed, points[i].Key))
+				select {
+				case results <- outcome[T]{i: i, res: res, err: err, elapsed: time.Since(start)}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: report completions as they land, emit in submission
+	// order, stop everything at the first error.
+	pending := make(map[int]outcome[T], window)
+	next, done := 0, 0
+	var firstErr error
+	for out := range results {
+		done++
+		if sc.Sched.OnPoint != nil {
+			sc.Sched.OnPoint(done, n, points[out.i].Key, out.elapsed)
+		}
+		if out.err != nil && firstErr == nil {
+			firstErr = out.err
+			cancel()
+		}
+		pending[out.i] = out
+		for {
+			o, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			<-sem
+			if firstErr == nil && emit != nil {
+				if err := emit(next, o.res); err != nil {
+					firstErr = err
+					cancel()
+				}
+			}
+			next++
+		}
+		if next == n {
+			break
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if next < n { // results closed early: workers bailed on cancellation
+		return ctx.Err()
+	}
+	return nil
+}
+
+// runSerial is the one-worker path: same seeds, same emit order, no
+// goroutines — the baseline the equivalence tests compare the pool
+// against.
+func runSerial[T any](ctx context.Context, sc Scale, points []Point[T], emit func(i int, res T) error) error {
+	n := len(points)
+	for i, p := range points {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := runPoint(ctx, p, DeriveSeed(sc.Seed, p.Key))
+		if sc.Sched.OnPoint != nil {
+			sc.Sched.OnPoint(i+1, n, p.Key, time.Since(start))
+		}
+		if err != nil {
+			return err
+		}
+		if emit != nil {
+			if err := emit(i, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Collect runs the points and returns their results in submission
+// order — the convenience most figure generators use (their results
+// are small summary structs; sweeps with bulky per-point output should
+// stream through RunPoints directly to keep memory bounded).
+func Collect[T any](sc Scale, points []Point[T]) ([]T, error) {
+	out := make([]T, len(points))
+	err := RunPoints(sc, points, func(i int, res T) error {
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

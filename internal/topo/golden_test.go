@@ -1,0 +1,169 @@
+// Golden-file regression tests for the topology constructors: each
+// preset's structural digest (order, degree sequence, diameter,
+// bisection estimate, adjacency hash) is pinned under testdata/. A
+// failing diff means the construction changed — run with -update to
+// accept it deliberately:
+//
+//	go test ./internal/topo -run TestGolden -update
+//
+// The test lives in package topo_test so it can use the partition
+// heuristic for the bisection line without entangling the packages.
+package topo_test
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"diam2/internal/graph"
+	"diam2/internal/partition"
+	"diam2/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenPresets are the pinned constructions: the three paper families
+// plus the cost-comparison baselines, at test-sized parameters.
+var goldenPresets = []struct {
+	file  string
+	build func() (topo.Topology, error)
+}{
+	{"sf_q5_floor", func() (topo.Topology, error) { return topo.NewSlimFly(5, topo.RoundDown) }},
+	{"sf_q5_ceil", func() (topo.Topology, error) { return topo.NewSlimFly(5, topo.RoundUp) }},
+	{"mlfm_h6", func() (topo.Topology, error) { return topo.NewMLFM(6) }},
+	{"oft_k6", func() (topo.Topology, error) { return topo.NewOFT(6) }},
+	{"hyperx_s4_p2", func() (topo.Topology, error) { return topo.NewHyperX2D(4, 2) }},
+	{"fattree2_r8", func() (topo.Topology, error) { return topo.NewFatTree2(8) }},
+	{"fattree3_r4", func() (topo.Topology, error) { return topo.NewFatTree3(4) }},
+}
+
+// digest renders the structural fingerprint of a topology as stable
+// text: counts, the degree histogram, distance properties, a seeded
+// bisection estimate, and a hash of the exact adjacency.
+func digest(t *testing.T, tp topo.Topology) string {
+	t.Helper()
+	g := tp.Graph()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "name: %s\n", tp.Name())
+	fmt.Fprintf(&sb, "routers: %d\n", g.N())
+	fmt.Fprintf(&sb, "nodes: %d\n", tp.Nodes())
+	fmt.Fprintf(&sb, "edges: %d\n", g.NumEdges())
+	fmt.Fprintf(&sb, "radix: %d\n", tp.Radix())
+
+	hist := map[int]int{}
+	for u := 0; u < g.N(); u++ {
+		hist[g.Degree(u)]++
+	}
+	degs := make([]int, 0, len(hist))
+	for d := range hist {
+		degs = append(degs, d)
+	}
+	sort.Ints(degs)
+	fmt.Fprintf(&sb, "degree histogram:")
+	for _, d := range degs {
+		fmt.Fprintf(&sb, " %dx%d", hist[d], d)
+	}
+	fmt.Fprintf(&sb, "\n")
+
+	if !g.Connected() {
+		t.Fatalf("%s: graph not connected", tp.Name())
+	}
+	diam, ok := g.Diameter()
+	if !ok {
+		t.Fatalf("%s: diameter undefined", tp.Name())
+	}
+	fmt.Fprintf(&sb, "diameter: %d\n", diam)
+	fmt.Fprintf(&sb, "endpoint diameter: %d\n", endpointDiameter(tp))
+
+	// Seeded bisection estimate (heuristic, but deterministic for a
+	// fixed seed/restart budget): routers weighted by attached nodes.
+	w := make([]int, g.N())
+	for r := 0; r < g.N(); r++ {
+		w[r] = len(tp.RouterNodes(r))
+	}
+	bis, err := partition.Bisect(g, w, partition.Config{Seed: 1, Restarts: 4, Passes: 8})
+	if err != nil {
+		t.Fatalf("%s: bisect: %v", tp.Name(), err)
+	}
+	fmt.Fprintf(&sb, "bisection cut: %d\n", bis.Cut)
+	fmt.Fprintf(&sb, "bisection per node: %.4f\n", partition.BisectionPerNode(bis.Cut, tp.Nodes()))
+
+	fmt.Fprintf(&sb, "adjacency sha256: %s\n", adjacencyHash(g))
+	return sb.String()
+}
+
+// endpointDiameter is the maximum router distance between two
+// endpoint-bearing routers — the hop diameter traffic actually sees
+// (2 for every paper topology, more for the fat-tree baselines).
+func endpointDiameter(tp topo.Topology) int {
+	g := tp.Graph()
+	eps := tp.EndpointRouters()
+	isEP := make([]bool, g.N())
+	for _, r := range eps {
+		isEP[r] = true
+	}
+	seen := map[int]bool{}
+	max := 0
+	for _, src := range eps {
+		if seen[src] {
+			continue
+		}
+		seen[src] = true
+		dist := g.BFS(src)
+		for r, d := range dist {
+			if isEP[r] && d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// adjacencyHash hashes the sorted edge list, pinning the exact graph
+// (including vertex numbering, which the node-attachment convention of
+// the package docs depends on).
+func adjacencyHash(g *graph.Graph) string {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	h := sha256.New()
+	for _, e := range edges {
+		fmt.Fprintf(h, "%d-%d\n", e[0], e[1])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func TestGoldenTopologies(t *testing.T) {
+	for _, gp := range goldenPresets {
+		t.Run(gp.file, func(t *testing.T) {
+			tp, err := gp.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := digest(t, tp)
+			path := filepath.Join("testdata", "golden_"+gp.file+".txt")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("construction digest changed (run with -update if intended):\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
