@@ -25,6 +25,10 @@
 // sources after -retx-timeout cycles with exponential backoff, and
 // routing tables are rebuilt from the degraded graph after the
 // -rebuild-latency window.
+//
+// Profiling: -cpuprofile/-memprofile write pprof profiles of the run;
+// the summary always includes the achieved simulation rate (cycles/s).
+// See README, "Profiling the engine".
 package main
 
 import (
@@ -64,6 +68,9 @@ func main() {
 		mttr       = flag.Int64("mttr", 0, "per-link repair time in cycles for -mtbf (default: mtbf/10)")
 		retxTO     = flag.Int("retx-timeout", 0, "override the retransmission timeout, cycles")
 		rebuildLat = flag.Int("rebuild-latency", 0, "override the routing-table rebuild latency, cycles (negative forces instant rebuild)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
 	)
 	flag.Parse()
 	fp := harness.FaultPlan{
@@ -80,8 +87,18 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, *jobs, *progress, fp); err != nil {
+	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sim:", err)
+		os.Exit(1)
+	}
+	runErr := run(ctx, *topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, *jobs, *progress, fp)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "diam2sim:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "diam2sim:", runErr)
 		os.Exit(1)
 	}
 }
@@ -187,6 +204,16 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 	if err != nil {
 		return err
 	}
+	// Engine speed summary: total simulated cycles (all runs, all
+	// workers) over the wall time they took.
+	start := time.Now()
+	simRate := func() {
+		wall := time.Since(start)
+		if cyc := harness.SimulatedCycles(); cyc > 0 && wall > 0 {
+			fmt.Printf("engine    %d cycles simulated in %s (%.0f cycles/s)\n",
+				cyc, wall.Round(time.Millisecond), float64(cyc)/wall.Seconds())
+		}
+	}
 	cost := topo.CostOf(tp)
 	fmt.Printf("topology  %s: N=%d R=%d radix=%d (%.2f ports, %.2f links per node)\n",
 		preset.Name, cost.Nodes, cost.Routers, tp.Radix(), cost.PortsPerNode, cost.LinksPerNode)
@@ -224,6 +251,7 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 			sim.DefaultConfig(1).LatencySeconds(float64(res.Cycles))*1e6)
 		fmt.Printf("effective throughput %.1f%% of injection bandwidth\n", eff*100)
 		printResults(res)
+		simRate()
 		return nil
 	}
 
@@ -239,7 +267,6 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 	if saturate {
 		// The load ladder is a set of independent runs, so it goes
 		// through the experiment scheduler and parallelizes with -j.
-		start := time.Now()
 		sat, curve, err := harness.SaturationPoint(tp, alg, ugal, pat, harness.DefaultLoads(), 0.05, sc)
 		if err != nil {
 			return err
@@ -248,6 +275,7 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 			fmt.Printf("load %.2f: throughput %.3f, avg latency %.0f cycles\n", p.Load, p.Throughput, p.AvgLatency)
 		}
 		fmt.Printf("saturation load (%s, %s): %.3f of injection bandwidth\n", pattern, algName, sat)
+		simRate()
 		fmt.Fprintf(os.Stderr, "diam2sim: %d points in %s wall time\n", len(curve), time.Since(start).Round(time.Millisecond))
 		return nil
 	}
@@ -259,6 +287,7 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 		pattern, algName, load, sc.Cycles, sc.Warmup)
 	fmt.Printf("delivered throughput %.1f%% of injection bandwidth\n", res.Throughput*100)
 	printResults(res)
+	simRate()
 	return nil
 }
 

@@ -26,6 +26,10 @@
 // each completed point on stderr. Results are byte-identical for any
 // -j: every point's random stream is derived from (seed, point key),
 // never from scheduling order. Ctrl-C cancels the sweep promptly.
+//
+// Profiling: -cpuprofile/-memprofile write pprof profiles of the whole
+// sweep, and the stderr summary reports the achieved simulation rate
+// (sim-cycles and cycles/s). See README, "Profiling the engine".
 package main
 
 import (
@@ -52,6 +56,9 @@ func main() {
 		csvDir    = flag.String("csvdir", "", "also write each figure's data as CSV into this directory")
 		jobs      = flag.Int("j", 0, "sweep worker-pool size (0: all CPUs, 1: serial)")
 		progress  = flag.Bool("progress", false, "report each completed sweep point on stderr")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
 	)
 	flag.Parse()
 	if *fig == "" {
@@ -60,8 +67,18 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *progress); err != nil {
+	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sweep:", err)
+		os.Exit(1)
+	}
+	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *progress)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "diam2sweep:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "diam2sweep:", runErr)
 		os.Exit(1)
 	}
 }
@@ -120,6 +137,9 @@ func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string,
 			wall.Round(time.Millisecond), time.Duration(busy.Load()).Round(time.Millisecond))
 		if wall > 0 {
 			summary += fmt.Sprintf(" concurrency=%.2fx", float64(busy.Load())/float64(wall))
+		}
+		if cyc := harness.SimulatedCycles(); cyc > 0 && wall > 0 {
+			summary += fmt.Sprintf(" sim-cycles=%d (%.0f cycles/s)", cyc, float64(cyc)/wall.Seconds())
 		}
 		fmt.Fprintln(os.Stderr, "diam2sweep:", summary)
 	}()

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// Profiling and throughput accounting for the CLIs. The engine's
+// cycle rate is the wall-clock bottleneck of every figure sweep, so
+// both diam2sim and diam2sweep report simulated cycles per second and
+// can capture pprof profiles of a run (see README, "Profiling the
+// engine").
+
+// simulatedCycles accumulates the cycles every harness-level run
+// simulates, across all scheduler workers.
+var simulatedCycles atomic.Int64
+
+func countCycles(n int64) { simulatedCycles.Add(n) }
+
+// SimulatedCycles returns the total cycles simulated by harness runs
+// in this process so far. Sample it before and after a sweep and
+// divide by wall time for the achieved simulation rate.
+func SimulatedCycles() int64 { return simulatedCycles.Load() }
+
+// StartProfiles begins CPU profiling to cpuPath and arranges a heap
+// profile at memPath (either may be empty). The returned stop function
+// finishes both; call it once, after the measured work.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

@@ -173,7 +173,9 @@ func RunSynthetic(t topo.Topology, kind AlgKind, ugal UGALConfig, pat PatternKin
 	}
 	e.Warmup = scale.Warmup
 	e.Run(scale.Cycles)
-	return e.Results(), nil
+	res := e.Results()
+	countCycles(res.Cycles)
+	return res, nil
 }
 
 // RunExchange executes a closed-loop exchange to completion and
@@ -199,6 +201,7 @@ func RunExchange(t topo.Topology, kind AlgKind, ugal UGALConfig, ex *traffic.Exc
 		return e.Results(), 0, fmt.Errorf("harness: exchange %s did not drain in %d cycles", ex.Name(), scale.MaxDrain)
 	}
 	res := e.Results()
+	countCycles(res.Cycles)
 	flits := float64(ex.TotalPackets()) * float64(cfg.PacketFlits())
 	eff := flits / (float64(res.Cycles) * float64(t.Nodes()))
 	return res, eff, nil

@@ -1,0 +1,63 @@
+package sim
+
+import "math/bits"
+
+// This file holds the active-set primitive behind the engine's
+// O(active) cycle loop. The engine keeps wake bitsets at two levels —
+// routers with buffered packets (Network.actIn / actOut, one bit per
+// router) and ports with buffered packets (Router.inMask / outMask,
+// one bit per port) — so the per-cycle stages iterate only components
+// that can possibly make progress instead of scanning every router,
+// port and VC.
+//
+// The wake-list invariant (DESIGN.md §10): every state mutation that
+// can enable progress at a component must set that component's bit.
+// Membership here is keyed purely on buffered-packet counts, which
+// makes the invariant structural rather than a per-call-site
+// obligation: all queue mutations go through the enqueue*/dequeue*/
+// take* wrappers in network.go, which maintain the counts and bits
+// together, and a component holding no packets is provably a no-op
+// for its stage (credits, link-free times and buffer releases only
+// matter to components that already hold work). Fault injection needs
+// no special wake calls for the same reason — drops run through the
+// same wrappers.
+//
+// Iteration is in ascending bit order, which is exactly the order the
+// pre-optimization full scans visited non-idle components in, so the
+// engine's packet and RNG sequences are byte-identical to the full
+// scan (enforced by TestGoldenStatsIdentity).
+
+// bitset is a fixed-capacity bit vector over [0, n).
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// nextFrom returns the smallest set bit >= i, or -1. Scanning a set
+// with successive nextFrom(i+1) calls costs O(words + population), and
+// tolerates the caller clearing the current (or any earlier) bit
+// mid-iteration — the property the engine stages rely on when a
+// component empties while being serviced. Callers must not set bits
+// behind the cursor during iteration.
+func (b bitset) nextFrom(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	w := i >> 6
+	if w >= len(b) {
+		return -1
+	}
+	if word := b[w] >> (uint(i) & 63); word != 0 {
+		return i + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(b); w++ {
+		if b[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(b[w])
+		}
+	}
+	return -1
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitsetNextFrom drives nextFrom through the edge cases the engine
+// stages rely on: word boundaries, the two-segment rotated walk, and
+// clears at the cursor mid-iteration.
+func TestBitsetNextFrom(t *testing.T) {
+	b := newBitset(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		b.set(i)
+	}
+	want := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	var got []int
+	for i := b.nextFrom(0); i >= 0; i = b.nextFrom(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iteration returned %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("iteration returned %v, want %v", got, want)
+		}
+	}
+	if n := b.nextFrom(200); n != -1 {
+		t.Errorf("nextFrom(200) = %d, want -1 (past capacity)", n)
+	}
+	if n := b.nextFrom(-5); n != 0 {
+		t.Errorf("nextFrom(-5) = %d, want 0 (clamped)", n)
+	}
+	b.clear(64)
+	if n := b.nextFrom(64); n != 65 {
+		t.Errorf("nextFrom(64) after clear = %d, want 65", n)
+	}
+
+	// Clearing the bit just visited (what dequeueOut/takeIn do) must
+	// not derail the cursor.
+	got = got[:0]
+	for i := b.nextFrom(0); i >= 0; i = b.nextFrom(i + 1) {
+		got = append(got, i)
+		b.clear(i)
+	}
+	want = []int{0, 1, 63, 65, 127, 128, 199}
+	if len(got) != len(want) {
+		t.Fatalf("clear-while-iterating returned %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("clear-while-iterating returned %v, want %v", got, want)
+		}
+	}
+	for _, w := range b {
+		if w != 0 {
+			t.Fatal("bitset not empty after clearing every visited bit")
+		}
+	}
+}
+
+// TestBitsetAgainstMap cross-checks set/clear/get/nextFrom against a
+// reference map under a random op sequence.
+func TestBitsetAgainstMap(t *testing.T) {
+	const n = 300
+	rng := rand.New(rand.NewSource(11))
+	b := newBitset(n)
+	ref := make(map[int]bool)
+	refNext := func(i int) int {
+		for ; i < n; i++ {
+			if ref[i] {
+				return i
+			}
+		}
+		return -1
+	}
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			b.set(i)
+			ref[i] = true
+		case 1:
+			b.clear(i)
+			delete(ref, i)
+		case 2:
+			if b.get(i) != ref[i] {
+				t.Fatalf("op %d: get(%d) = %v, want %v", op, i, b.get(i), ref[i])
+			}
+			if got, want := b.nextFrom(i), refNext(i); got != want {
+				t.Fatalf("op %d: nextFrom(%d) = %d, want %d", op, i, got, want)
+			}
+		}
+	}
+}

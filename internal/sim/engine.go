@@ -44,6 +44,11 @@ type Workload interface {
 	NextPacket(src int, now int64, rng *rand.Rand) (dst int, ok bool)
 	// Done reports that the workload will never inject again
 	// (closed-loop exchanges); open-loop generators return false.
+	//
+	// Contract: once Done returns true, NextPacket must return
+	// ok == false without drawing from rng or mutating workload state.
+	// The engine relies on this to skip polling idle nodes entirely
+	// during the drain phase (see injectStage).
 	Done() bool
 }
 
@@ -80,6 +85,11 @@ type Engine struct {
 	rng     *rand.Rand
 	ring    [][]event
 	ringLen int64
+	slot    int64 // == now % ringLen, maintained incrementally
+
+	// pktFree recycles delivered Packet structs (see packet.go); the
+	// steady-state hot path allocates nothing once the pool is warm.
+	pktFree []*Packet
 
 	pktFlits int
 	nextID   int64
@@ -142,6 +152,9 @@ func NewEngine(net *Network, alg RoutingAlgorithm, work Workload) (*Engine, erro
 	}
 	e.ringLen = int64(cfg.PacketFlits() + cfg.LinkLatency + cfg.SwitchLatency + 2)
 	e.ring = make([][]event, e.ringLen)
+	for i := range e.ring {
+		e.ring[i] = make([]event, 0, 8)
+	}
 	e.observer, _ = work.(DeliveryObserver)
 	// Latency histograms in cycles: bucket width scales with the
 	// network latency so percentiles stay meaningful at any scale.
@@ -155,7 +168,17 @@ func NewEngine(net *Network, alg RoutingAlgorithm, work Workload) (*Engine, erro
 func (e *Engine) Now() int64 { return e.now }
 
 func (e *Engine) schedule(delay int64, ev event) {
-	t := (e.now + delay) % e.ringLen
+	// e.slot caches now % ringLen, and every delay the stages use fits
+	// within one ring revolution, so a conditional subtract replaces
+	// the int64 division that showed up hot in profiles. The modulo
+	// fallback keeps larger delays correct should one ever appear.
+	t := e.slot + delay
+	if t >= e.ringLen {
+		t -= e.ringLen
+		if t >= e.ringLen {
+			t %= e.ringLen
+		}
+	}
 	e.ring[t] = append(e.ring[t], ev)
 }
 
@@ -170,6 +193,9 @@ func (e *Engine) Step() {
 	e.injectStage()
 	e.sampleTick()
 	e.now++
+	if e.slot++; e.slot == e.ringLen {
+		e.slot = 0
+	}
 }
 
 // Run advances the simulation by n cycles.
@@ -196,23 +222,16 @@ func (e *Engine) RunUntilDrained(maxCycles int64) bool {
 // drained reports that no packet remains anywhere: the workload is
 // exhausted, the source and retransmission queues are empty, and every
 // packet still in the network (injections minus deliveries minus
-// drops) has been accounted for.
+// drops) has been accounted for. O(1): Network.srcBusy counts nodes
+// with nonempty source queues, so RunUntilDrained no longer scans all
+// nodes every iteration.
 func (e *Engine) drained() bool {
 	return e.Work.Done() && e.injected-e.delivered-e.droppedPkts == 0 &&
-		e.retxWaiting == 0 && e.sourceQueuesEmpty()
-}
-
-func (e *Engine) sourceQueuesEmpty() bool {
-	for _, nd := range e.Net.Nodes {
-		if !nd.srcQ.empty() {
-			return false
-		}
-	}
-	return true
+		e.retxWaiting == 0 && e.Net.srcBusy == 0
 }
 
 func (e *Engine) processEvents() {
-	slot := e.now % e.ringLen
+	slot := e.slot
 	evs := e.ring[slot]
 	e.ring[slot] = evs[:0]
 	for _, ev := range evs {
@@ -267,26 +286,32 @@ func (e *Engine) deliver(p *Packet) {
 			e.indirectN++
 		}
 	}
+	// The packet has left the simulation and every hook above has run;
+	// recycle the struct (freelist ownership rules: DESIGN.md §10).
+	e.freePacket(p)
 }
 
 // linkStage moves packets from output buffers onto links: downstream
 // input buffers for network ports, destination nodes for terminal
-// ports.
+// ports. Only routers in the output active set, and within them only
+// ports with buffered packets, are visited; both iterations run in
+// ascending order, matching the full scan's visit order over non-idle
+// components.
 func (e *Engine) linkStage() {
 	flits := int64(e.pktFlits)
 	linkLat := int64(e.Cfg.LinkLatency)
-	for _, r := range e.Net.Routers {
-		if r.outCount == 0 {
-			continue
-		}
-		for port := 0; port < r.nPorts; port++ {
+	nv := e.Cfg.NumVCs
+	act := e.Net.actOut
+	for id := act.nextFrom(0); id >= 0; id = act.nextFrom(id + 1) {
+		r := e.Net.Routers[id]
+		m := r.outMask
+		for port := m.nextFrom(0); port >= 0; port = m.nextFrom(port + 1) {
 			if r.linkFree[port] > e.now {
 				continue
 			}
 			if r.portDown != nil && port < r.netPorts && r.portDown[port] {
 				continue // downed links stop transmitting
 			}
-			nv := e.Cfg.NumVCs
 			for i := 0; i < nv; i++ {
 				vc := (r.rrOut[port] + i) % nv
 				q := &r.outQ[r.idx(port, vc)]
@@ -304,24 +329,20 @@ func (e *Engine) linkStage() {
 						continue
 					}
 					r.credits[r.idx(port, vc)] -= e.pktFlits
-					ent := q.pop()
-					r.outCount--
+					ent := r.dequeueOut(port, vc)
 					ent.pkt.Hops++
 					next := e.Net.Routers[r.neighbor[port]]
-					inPort := next.portOf[r.ID]
-					next.inQ[next.idx(inPort, vc)].push(entry{
+					next.enqueueIn(r.revPort[port], vc, entry{
 						pkt:     ent.pkt,
 						ready:   e.now + linkLat,
 						outPort: -1,
 					})
-					next.inCount++
 					e.recordLink(r.ID, next.ID, e.pktFlits)
 					if e.recorder != nil {
 						e.recorder.recordHop(ent.pkt, next.ID, ent.pkt.VC)
 					}
 				} else {
-					ent := q.pop()
-					r.outCount--
+					ent := r.dequeueOut(port, vc)
 					e.schedule(flits+linkLat, event{kind: evDeliver, pkt: ent.pkt})
 				}
 				r.linkFree[port] = e.now + flits
@@ -345,83 +366,24 @@ func (e *Engine) switchStage() {
 	swLat := int64(e.Cfg.SwitchLatency)
 	linkLat := int64(e.Cfg.LinkLatency)
 	nv := e.Cfg.NumVCs
-	for _, r := range e.Net.Routers {
-		if r.inCount == 0 {
-			continue
-		}
+	act := e.Net.actIn
+	for id := act.nextFrom(0); id >= 0; id = act.nextFrom(id + 1) {
+		r := e.Net.Routers[id]
+		// Rotated iteration over occupied input ports starting at the
+		// round-robin pointer — [rrIn, nPorts) then [0, rrIn) — which
+		// is the order the full scan's (rrIn+pi) % nPorts loop visited
+		// non-empty ports in. A grant may clear the current port's
+		// mask bit; nextFrom tolerates clears at or before the cursor.
 		granted := false
-		for pi := 0; pi < r.nPorts; pi++ {
-			port := (r.rrIn + pi) % r.nPorts
-			if r.inPortFree[port] > e.now {
-				continue
-			}
-			for vi := 0; vi < nv; vi++ {
-				vc := (r.rrVC[port] + vi) % nv
-				q := &r.inQ[r.idx(port, vc)]
-				// Windowed allocation: scan past a blocked head so a
-				// packet bound for a free output is not stuck behind
-				// one bound for a busy output (the head-of-line
-				// bypass an input-output-buffered switch with VOQs
-				// provides; window size bounds the lookahead).
-				// Per-flow order is preserved: packets of one flow
-				// share an output port and are granted in order.
-				pick := -1
-				win := e.Cfg.AllocWindow
-				if win > q.len() {
-					win = q.len()
-				}
-				for i := 0; i < win; i++ {
-					cand := q.at(i)
-					if cand.ready > e.now {
-						break // later entries arrived even later
-					}
-					if cand.outPort < 0 {
-						p := cand.pkt
-						if p.DstRouter == r.ID {
-							cand.outPort = e.Net.terminalPortFor(p.Dst)
-							cand.outVC = p.VC
-						} else {
-							cand.outPort, cand.outVC = e.Alg.NextHop(p, r, e.rng)
-						}
-						r.pendingOut[cand.outPort] += p.Flits
-					}
-					if r.outAccept[cand.outPort] > e.now {
-						continue
-					}
-					if r.outOcc[r.idx(cand.outPort, cand.outVC)]+e.pktFlits > e.Cfg.OutputBufFlits {
-						continue
-					}
-					pick = i
-					break
-				}
-				if pick < 0 {
-					continue
-				}
-				// Grant.
-				ent := q.removeAt(pick)
-				r.inCount--
-				r.outCount++
-				op, ov := ent.outPort, ent.outVC
-				r.pendingOut[op] -= ent.pkt.Flits
-				ent.pkt.VC = ov
-				r.outOcc[r.idx(op, ov)] += e.pktFlits
-				r.outAccept[op] = e.now + xfer
-				r.inPortFree[port] = e.now + xfer
-				r.outQ[r.idx(op, ov)].push(entry{pkt: ent.pkt, ready: e.now + swLat})
-				// Return credits upstream once the tail leaves this
-				// input buffer (after flits cycles) plus the credit
-				// propagation delay.
-				if r.isTerminal(port) {
-					node := r.nodeAt[port-r.netPorts]
-					e.schedule(xfer+linkLat, event{kind: evNodeCredit, node: node, vc: vc, amount: e.pktFlits})
-				} else {
-					up := e.Net.Routers[r.neighbor[port]]
-					upPort := up.portOf[r.ID]
-					e.schedule(xfer+linkLat, event{kind: evCredit, router: up.ID, port: upPort, vc: vc, amount: e.pktFlits})
-				}
-				r.rrVC[port] = (vc + 1) % nv
+		start := r.rrIn
+		for port := r.inMask.nextFrom(start); port >= 0; port = r.inMask.nextFrom(port + 1) {
+			if e.switchAllocPort(r, port, nv, xfer, swLat, linkLat) {
 				granted = true
-				break
+			}
+		}
+		for port := r.inMask.nextFrom(0); port >= 0 && port < start; port = r.inMask.nextFrom(port + 1) {
+			if e.switchAllocPort(r, port, nv, xfer, swLat, linkLat) {
+				granted = true
 			}
 		}
 		if granted {
@@ -430,77 +392,171 @@ func (e *Engine) switchStage() {
 	}
 }
 
+// switchAllocPort tries to grant one packet from input port's VC
+// queues to an output buffer; reports whether a grant happened.
+func (e *Engine) switchAllocPort(r *Router, port, nv int, xfer, swLat, linkLat int64) bool {
+	if r.inPortFree[port] > e.now {
+		return false
+	}
+	for vi := 0; vi < nv; vi++ {
+		vc := (r.rrVC[port] + vi) % nv
+		q := &r.inQ[r.idx(port, vc)]
+		// Windowed allocation: scan past a blocked head so a
+		// packet bound for a free output is not stuck behind
+		// one bound for a busy output (the head-of-line
+		// bypass an input-output-buffered switch with VOQs
+		// provides; window size bounds the lookahead).
+		// Per-flow order is preserved: packets of one flow
+		// share an output port and are granted in order.
+		pick := -1
+		win := e.Cfg.AllocWindow
+		if win > q.len() {
+			win = q.len()
+		}
+		for i := 0; i < win; i++ {
+			cand := q.at(i)
+			if cand.ready > e.now {
+				break // later entries arrived even later
+			}
+			if cand.outPort < 0 {
+				p := cand.pkt
+				if p.DstRouter == r.ID {
+					cand.outPort = e.Net.terminalPortFor(p.Dst)
+					cand.outVC = p.VC
+				} else {
+					cand.outPort, cand.outVC = e.Alg.NextHop(p, r, e.rng)
+				}
+				r.pendingOut[cand.outPort] += p.Flits
+			}
+			if r.outAccept[cand.outPort] > e.now {
+				continue
+			}
+			if r.outOcc[r.idx(cand.outPort, cand.outVC)]+e.pktFlits > e.Cfg.OutputBufFlits {
+				continue
+			}
+			pick = i
+			break
+		}
+		if pick < 0 {
+			continue
+		}
+		// Grant.
+		ent := r.takeIn(port, vc, pick)
+		op, ov := ent.outPort, ent.outVC
+		r.pendingOut[op] -= ent.pkt.Flits
+		ent.pkt.VC = ov
+		r.outOcc[r.idx(op, ov)] += e.pktFlits
+		r.outAccept[op] = e.now + xfer
+		r.inPortFree[port] = e.now + xfer
+		r.enqueueOut(op, ov, entry{pkt: ent.pkt, ready: e.now + swLat})
+		// Return credits upstream once the tail leaves this
+		// input buffer (after flits cycles) plus the credit
+		// propagation delay.
+		if r.isTerminal(port) {
+			node := r.nodeAt[port-r.netPorts]
+			e.schedule(xfer+linkLat, event{kind: evNodeCredit, node: node, vc: vc, amount: e.pktFlits})
+		} else {
+			up := e.Net.Routers[r.neighbor[port]]
+			e.schedule(xfer+linkLat, event{kind: evCredit, router: up.ID, port: r.revPort[port], vc: vc, amount: e.pktFlits})
+		}
+		r.rrVC[port] = (vc + 1) % nv
+		return true
+	}
+	return false
+}
+
 // injectStage generates new packets (bounded by the source queue) and
 // pushes queued packets onto terminal links when credits allow.
+//
+// While the workload can still generate, every node is polled each
+// cycle in node order — the rng draw sequence (one NextPacket poll
+// per node with source-queue room, one Inject per injection attempt)
+// is part of the engine's deterministic behaviour and must not change.
+// Once Done() reports the workload exhausted, polling is a guaranteed
+// no-op (see the Workload contract) and only woken nodes — those
+// holding source-queue or retransmission work — are visited.
 func (e *Engine) injectStage() {
-	flits := int64(e.pktFlits)
-	linkLat := int64(e.Cfg.LinkLatency)
+	if e.Work.Done() {
+		act := e.Net.actNode
+		for id := act.nextFrom(0); id >= 0; id = act.nextFrom(id + 1) {
+			e.tryInject(e.Net.Nodes[id])
+		}
+		return
+	}
 	for _, nd := range e.Net.Nodes {
 		if nd.srcQ.len() < e.Cfg.SourceQueueCap {
 			if dst, ok := e.Work.NextPacket(nd.ID, e.now, e.rng); ok {
-				p := &Packet{
-					ID:           e.nextID,
-					Src:          nd.ID,
-					Dst:          dst,
-					SrcRouter:    nd.Router,
-					DstRouter:    e.Net.Topo.NodeRouter(dst),
-					Flits:        e.pktFlits,
-					GenTime:      e.now,
-					Intermediate: -1,
-				}
+				p := e.allocPacket()
+				p.ID = e.nextID
+				p.Src = nd.ID
+				p.Dst = dst
+				p.SrcRouter = nd.Router
+				p.DstRouter = e.Net.Topo.NodeRouter(dst)
+				p.Flits = e.pktFlits
+				p.GenTime = e.now
+				p.Intermediate = -1
 				e.nextID++
 				e.generated++
-				nd.srcQ.push(entry{pkt: p})
+				e.Net.pushSrc(nd, p)
 			}
 		}
-		if nd.linkFree > e.now {
-			continue
-		}
-		// Retransmissions of dropped packets take priority over fresh
-		// traffic: they are older and gate drain completion.
-		retx := -1
-		var p *Packet
-		if e.faults != nil {
-			retx = nd.readyRetx(e.now)
-		}
-		if retx >= 0 {
-			p = nd.retxQ[retx].pkt
-			// Reset routing state; Inject below re-decides the route on
-			// the current tables.
-			p.Hops = 0
-			p.PhaseTwo = false
-			p.Intermediate = -1
-		} else {
-			if nd.srcQ.empty() {
-				continue
-			}
-			p = nd.srcQ.front().pkt
-		}
-		r := e.Net.Routers[nd.Router]
-		vc := e.Alg.Inject(p, r, e.rng)
-		if nd.credits[vc] < e.pktFlits {
-			continue
-		}
-		nd.credits[vc] -= e.pktFlits
-		if retx >= 0 {
-			nd.takeRetx(retx)
-			e.retxWaiting--
-			e.retransmits++
-		} else {
-			nd.srcQ.pop()
-		}
-		p.InjectTime = e.now
-		p.VC = vc
-		e.injected++
-		if e.recorder != nil {
-			e.recorder.recordInject(p)
-		}
-		if e.now >= e.Warmup {
-			e.injectedFlitsWindow += int64(p.Flits)
-		}
-		nd.linkFree = e.now + flits
-		inPort := e.Net.nodeRouterPort[p.Src]
-		r.inQ[r.idx(inPort, vc)].push(entry{pkt: p, ready: e.now + linkLat, outPort: -1})
-		r.inCount++
+		e.tryInject(nd)
 	}
+}
+
+// tryInject attempts to start one packet from a node onto its terminal
+// link: the oldest ready retransmission if any, else the source-queue
+// head.
+func (e *Engine) tryInject(nd *Node) {
+	if nd.linkFree > e.now {
+		return
+	}
+	// Retransmissions of dropped packets take priority over fresh
+	// traffic: they are older and gate drain completion.
+	retx := -1
+	var p *Packet
+	if e.faults != nil {
+		retx = nd.readyRetx(e.now)
+	}
+	if retx >= 0 {
+		p = nd.retxQ[retx].pkt
+		// Reset routing state; Inject below re-decides the route on
+		// the current tables.
+		p.Hops = 0
+		p.PhaseTwo = false
+		p.Intermediate = -1
+	} else {
+		if nd.srcQ.empty() {
+			return
+		}
+		p = nd.srcQ.front().pkt
+	}
+	r := e.Net.Routers[nd.Router]
+	vc := e.Alg.Inject(p, r, e.rng)
+	if nd.credits[vc] < e.pktFlits {
+		return
+	}
+	nd.credits[vc] -= e.pktFlits
+	if retx >= 0 {
+		nd.takeRetx(retx)
+		if len(nd.retxQ) == 0 && nd.srcQ.empty() {
+			e.Net.actNode.clear(nd.ID)
+		}
+		e.retxWaiting--
+		e.retransmits++
+	} else {
+		e.Net.popSrc(nd)
+	}
+	p.InjectTime = e.now
+	p.VC = vc
+	e.injected++
+	if e.recorder != nil {
+		e.recorder.recordInject(p)
+	}
+	if e.now >= e.Warmup {
+		e.injectedFlitsWindow += int64(p.Flits)
+	}
+	nd.linkFree = e.now + int64(e.pktFlits)
+	inPort := e.Net.nodeRouterPort[p.Src]
+	r.enqueueIn(inPort, vc, entry{pkt: p, ready: e.now + int64(e.Cfg.LinkLatency), outPort: -1})
 }

@@ -1,0 +1,154 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"diam2/internal/routing"
+	"diam2/internal/sim"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+)
+
+// Engine micro-benchmarks. Every figure in the paper is built from
+// thousands of flit-level simulation points, so single-point speed is
+// the wall-clock bottleneck of the reproduction (see EXPERIMENTS.md,
+// "Engine active-set optimization", for recorded before/after
+// numbers). The benchmark topologies all exceed 50 routers: SF(q=7)
+// has 98, MLFM(h=6) 63, OFT(k=6) 93.
+
+// benchTopologies builds the benchmark instances; index by family name.
+func benchTopologies(tb testing.TB) map[string]topo.Topology {
+	tb.Helper()
+	sf, err := topo.NewSlimFly(7, topo.RoundDown)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ml, err := topo.NewMLFM(6)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	of, err := topo.NewOFT(6)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return map[string]topo.Topology{"SF": sf, "MLFM": ml, "OFT": of}
+}
+
+var benchFamilies = []string{"SF", "MLFM", "OFT"}
+
+func benchEngine(tb testing.TB, tp topo.Topology, load float64) *sim.Engine {
+	tb.Helper()
+	alg := routing.NewMinimal(tp)
+	cfg := sim.TestConfig(alg.NumVCs())
+	net, err := sim.NewNetwork(tp, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: load, PacketFlits: cfg.PacketFlits()}
+	e, err := sim.NewEngine(net, alg, w)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkEngineStep measures a single warmed cycle at low, mid and
+// near-saturation offered load (ns/op = one Step; cycles/s is the
+// sustained single-point simulation rate).
+func BenchmarkEngineStep(b *testing.B) {
+	tops := benchTopologies(b)
+	for _, name := range benchFamilies {
+		for _, load := range []float64{0.1, 0.3, 0.7} {
+			b.Run(fmt.Sprintf("%s/load=%.1f", name, load), func(b *testing.B) {
+				e := benchEngine(b, tops[name], load)
+				e.Run(3000) // reach steady state before measuring
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			})
+		}
+	}
+}
+
+// BenchmarkRunToSaturation runs a whole saturation ladder per
+// iteration — the unit of work every figure sweep repeats per
+// (topology, algorithm, pattern) cell.
+func BenchmarkRunToSaturation(b *testing.B) {
+	tops := benchTopologies(b)
+	loads := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	for _, name := range benchFamilies {
+		b.Run(name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				for _, load := range loads {
+					e := benchEngine(b, tops[name], load)
+					e.Warmup = 1000
+					e.Run(4000)
+					cycles += 4000
+				}
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
+// TestStepZeroAllocIdle: a warmed engine whose network is empty must
+// not allocate at all — the cycle loop over idle state is pure
+// bookkeeping. Guards the active-set engine against hot-path
+// allocation regressions.
+func TestStepZeroAllocIdle(t *testing.T) {
+	tp, err := topo.NewMLFM(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := benchEngine(t, tp, 0) // open loop at zero load: polls, never injects
+	e.Run(2000)
+	if avg := testing.AllocsPerRun(500, e.Step); avg != 0 {
+		t.Errorf("idle Step allocates %.2f times per cycle, want 0", avg)
+	}
+}
+
+// TestStepZeroAllocDrained: after a closed-loop workload finishes and
+// the network drains, stepping is allocation-free (the regime
+// RunUntilDrained's tail spends its time in).
+func TestStepZeroAllocDrained(t *testing.T) {
+	tp, err := topo.NewMLFM(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := traffic.AllToAll(tp.Nodes(), 1, nil)
+	alg := routing.NewMinimal(tp)
+	cfg := sim.TestConfig(alg.NumVCs())
+	net, err := sim.NewNetwork(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(net, alg, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.RunUntilDrained(2_000_000) {
+		t.Fatal("exchange did not drain")
+	}
+	if avg := testing.AllocsPerRun(500, e.Step); avg != 0 {
+		t.Errorf("drained Step allocates %.2f times per cycle, want 0", avg)
+	}
+}
+
+// TestStepZeroAllocSteady: once queue slabs, ring slots and the packet
+// freelist are warmed, steady-state traffic recycles everything — zero
+// heap allocations per cycle even while packets flow.
+func TestStepZeroAllocSteady(t *testing.T) {
+	tp, err := topo.NewMLFM(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := benchEngine(t, tp, 0.25)
+	e.Run(30000) // warm queue capacities, event ring and freelist
+	if avg := testing.AllocsPerRun(2000, e.Step); avg != 0 {
+		t.Errorf("steady-state Step allocates %.4f times per cycle, want 0", avg)
+	}
+}

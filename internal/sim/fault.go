@@ -237,8 +237,8 @@ func (e *Engine) applyDown(link [2]int) bool {
 		return false
 	}
 	u, v := e.Net.Routers[link[0]], e.Net.Routers[link[1]]
-	u.portDown[u.portOf[v.ID]] = true
-	v.portDown[v.portOf[u.ID]] = true
+	u.portDown[u.portTo(v.ID)] = true
+	v.portDown[v.portTo(u.ID)] = true
 	e.dropLinkTraffic(u, v)
 	e.dropLinkTraffic(v, u)
 	e.linkDowns++
@@ -256,8 +256,8 @@ func (e *Engine) applyUp(link [2]int) bool {
 	}
 	delete(f.down, link)
 	u, v := e.Net.Routers[link[0]], e.Net.Routers[link[1]]
-	u.portDown[u.portOf[v.ID]] = false
-	v.portDown[v.portOf[u.ID]] = false
+	u.portDown[u.portTo(v.ID)] = false
+	v.portDown[v.portTo(u.ID)] = false
 	e.linkUps++
 	return true
 }
@@ -267,8 +267,8 @@ func (e *Engine) applyUp(link [2]int) bool {
 // and upstream credits are reclaimed), and packets already committed
 // to u's output buffer for the dead port can never leave it.
 func (e *Engine) dropLinkTraffic(u, v *Router) {
-	pu := u.portOf[v.ID]
-	pv := v.portOf[u.ID]
+	pu := u.portTo(v.ID)
+	pv := v.portTo(u.ID)
 	for vc := 0; vc < e.Cfg.NumVCs; vc++ {
 		q := &v.inQ[v.idx(pv, vc)]
 		for i := q.len() - 1; i >= 0; i-- {
@@ -276,8 +276,7 @@ func (e *Engine) dropLinkTraffic(u, v *Router) {
 			// never carry a cached route decision: switch allocation
 			// only inspects entries whose head flit has arrived.)
 			if q.at(i).ready > e.now {
-				ent := q.removeAt(i)
-				v.inCount--
+				ent := v.takeIn(pv, vc, i)
 				u.credits[u.idx(pu, vc)] += e.pktFlits
 				e.dropPacket(ent.pkt)
 			}
@@ -291,8 +290,7 @@ func (e *Engine) dropLinkTraffic(u, v *Router) {
 func (e *Engine) dropDeadOutput(r *Router, port, vc int) {
 	q := &r.outQ[r.idx(port, vc)]
 	for !q.empty() {
-		ent := q.pop()
-		r.outCount--
+		ent := r.dequeueOut(port, vc)
 		r.outOcc[r.idx(port, vc)] -= e.pktFlits
 		e.dropPacket(ent.pkt)
 	}
@@ -311,8 +309,8 @@ func (e *Engine) rebuildTables() {
 	for _, link := range f.sortedDown() {
 		u, v := e.Net.Routers[link[0]], e.Net.Routers[link[1]]
 		for vc := 0; vc < e.Cfg.NumVCs; vc++ {
-			e.dropDeadOutput(u, u.portOf[v.ID], vc)
-			e.dropDeadOutput(v, v.portOf[u.ID], vc)
+			e.dropDeadOutput(u, u.portTo(v.ID), vc)
+			e.dropDeadOutput(v, v.portTo(u.ID), vc)
 		}
 	}
 	for _, r := range e.Net.Routers {
@@ -379,6 +377,9 @@ func (e *Engine) dropPacket(p *Packet) {
 	}
 	nd := e.Net.Nodes[p.Src]
 	nd.retxQ = append(nd.retxQ, retxEntry{pkt: p, ready: e.now + int64(e.Cfg.RetxTimeout)<<shift})
+	// The pending retransmission is injection work: wake the node so
+	// the drain-phase injectStage revisits it when the timer expires.
+	e.Net.actNode.set(nd.ID)
 	e.retxWaiting++
 }
 

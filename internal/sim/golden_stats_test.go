@@ -1,0 +1,147 @@
+package sim_test
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"diam2/internal/routing"
+	"diam2/internal/sim"
+	"diam2/internal/traffic"
+)
+
+var updateStats = flag.Bool("update-stats", false, "rewrite the golden stats digests under testdata/")
+
+// TestGoldenStatsIdentity pins the engine's end-to-end statistics —
+// every Results field, bit-exact — for a spread of topology, routing,
+// workload and fault scenarios. The digests under testdata/ were
+// produced by the pre-optimization (full-scan) engine; the active-set
+// engine must reproduce them byte for byte, proving the wake-list and
+// freelist machinery is behaviour-preserving, not merely plausible.
+// Regenerate with -update-stats only for a change that intentionally
+// alters simulation semantics.
+func TestGoldenStatsIdentity(t *testing.T) {
+	got := make([]string, 0, len(goldenScenarios))
+	for _, sc := range goldenScenarios {
+		got = append(got, sc.name+" "+resultsDigest(sc.run(t)))
+	}
+	path := filepath.Join("testdata", "golden_stats.txt")
+	text := strings.Join(got, "\n") + "\n"
+	if *updateStats {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden stats (run with -update-stats to create): %v", err)
+	}
+	wantLines := strings.Split(strings.TrimSuffix(string(want), "\n"), "\n")
+	if len(wantLines) != len(got) {
+		t.Fatalf("golden stats hold %d scenarios, test runs %d", len(wantLines), len(got))
+	}
+	for i, g := range got {
+		if g != wantLines[i] {
+			t.Errorf("stats diverge from the seed engine:\n got %s\nwant %s", g, wantLines[i])
+		}
+	}
+}
+
+// resultsDigest renders a Results bit-exactly: integers in decimal,
+// floats in hexadecimal notation (no rounding).
+func resultsDigest(res sim.Results) string {
+	h := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	return fmt.Sprintf("cycles=%d gen=%d inj=%d del=%d thr=%s load=%s lat=%s p99=%s max=%s net=%s hops=%s ind=%s faults=%+v",
+		res.Cycles, res.Generated, res.Injected, res.Delivered,
+		h(res.Throughput), h(res.InjectedLoad),
+		h(res.AvgLatency), h(res.P99Latency), h(res.MaxLatency), h(res.AvgNetLatency),
+		h(res.AvgHops), h(res.IndirectFrac), res.Faults)
+}
+
+var goldenScenarios = []struct {
+	name string
+	run  func(t *testing.T) sim.Results
+}{
+	{"mlfm-min-uni", func(t *testing.T) sim.Results {
+		tp := mustMLFM(t, 4)
+		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.35, PacketFlits: 4}
+		e := buildEngine(t, tp, routing.NewMinimal(tp), w)
+		e.Warmup = 1000
+		e.Run(8000)
+		return e.Results()
+	}},
+	{"sf-inr-uni", func(t *testing.T) sim.Results {
+		tp := mustSF(t, 5)
+		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.5, PacketFlits: 4}
+		e := buildEngine(t, tp, routing.NewValiant(tp), w)
+		e.Warmup = 1000
+		e.Run(8000)
+		return e.Results()
+	}},
+	{"oft-min-wc", func(t *testing.T) sim.Results {
+		tp := mustOFT(t, 3)
+		wc, err := traffic.WorstCase(tp, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &traffic.OpenLoop{Pattern: wc, Load: 1.0, PacketFlits: 4}
+		e := buildEngine(t, tp, routing.NewMinimal(tp), w)
+		e.Warmup = 2000
+		e.Run(10000)
+		return e.Results()
+	}},
+	{"mlfm-ugal-uni", func(t *testing.T) sim.Results {
+		tp := mustMLFM(t, 4)
+		cfg := sim.TestConfig(2)
+		alg, err := routing.NewUGAL(tp, routing.UGALConfig{NI: 4, C: 2}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := sim.NewNetwork(tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.6, PacketFlits: 4}
+		e, err := sim.NewEngine(net, alg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Warmup = 1000
+		e.Run(8000)
+		return e.Results()
+	}},
+	{"mlfm-inr-a2a", func(t *testing.T) sim.Results {
+		tp := mustMLFM(t, 3)
+		ex := traffic.AllToAll(tp.Nodes(), 2, rand.New(rand.NewSource(7)))
+		e := buildEngine(t, tp, routing.NewValiant(tp), ex)
+		if !e.RunUntilDrained(4_000_000) {
+			t.Fatal("a2a did not drain")
+		}
+		return e.Results()
+	}},
+	{"sf-min-faults", func(t *testing.T) sim.Results {
+		tp := mustSF(t, 5)
+		fs, err := sim.RandomLinkFailures(tp, 4, 1500, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.3, PacketFlits: 4}
+		e := buildEngine(t, tp, routing.NewMinimal(tp), w)
+		if err := e.SetFaultSchedule(fs); err != nil {
+			t.Fatal(err)
+		}
+		e.Warmup = 1000
+		e.Run(12000)
+		return e.Results()
+	}},
+}

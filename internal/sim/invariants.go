@@ -12,15 +12,29 @@ import "fmt"
 //     counter plus flits resident or in flight downstream never
 //     exceeds the input buffer capacity;
 //   - occupancy sanity: all occupancy and credit counters are
-//     non-negative and within capacity.
+//     non-negative and within capacity;
+//   - active-set consistency: the wake bitsets, per-port packet
+//     counters and the srcBusy counter agree with an exhaustive scan
+//     of the queues they summarize (the wake-list invariant of
+//     DESIGN.md §10).
 func (e *Engine) CheckInvariants() error {
 	// Packet conservation. Injections count events, so retransmissions
 	// of fault-dropped packets re-count: first-time injections are
 	// injected - retransmits.
 	var queued, retxQueued int64
+	srcBusy := 0
 	for _, nd := range e.Net.Nodes {
 		queued += int64(nd.srcQ.len())
 		retxQueued += int64(len(nd.retxQ))
+		if !nd.srcQ.empty() {
+			srcBusy++
+		}
+		if wantActive := !nd.srcQ.empty() || len(nd.retxQ) > 0; e.Net.actNode.get(nd.ID) != wantActive {
+			return fmt.Errorf("sim: node %d active bit %v, want %v", nd.ID, !wantActive, wantActive)
+		}
+	}
+	if srcBusy != e.Net.srcBusy {
+		return fmt.Errorf("sim: %d nodes have nonempty source queues, srcBusy says %d", srcBusy, e.Net.srcBusy)
 	}
 	if e.generated != e.injected-e.retransmits+queued {
 		return fmt.Errorf("sim: generated %d != injected %d - retransmits %d + source-queued %d",
@@ -50,7 +64,24 @@ func (e *Engine) CheckInvariants() error {
 			return fmt.Errorf("sim: router %d queue counters (%d,%d) != actual (%d,%d)",
 				r.ID, r.inCount, r.outCount, inCount, outCount)
 		}
+		if e.Net.actIn.get(r.ID) != (inCount > 0) || e.Net.actOut.get(r.ID) != (outCount > 0) {
+			return fmt.Errorf("sim: router %d active bits (in=%v,out=%v) disagree with queue counts (%d,%d)",
+				r.ID, e.Net.actIn.get(r.ID), e.Net.actOut.get(r.ID), inCount, outCount)
+		}
 		for port := 0; port < r.nPorts; port++ {
+			inPkts, outPkts := 0, 0
+			for vc := 0; vc < e.Cfg.NumVCs; vc++ {
+				inPkts += r.inQ[r.idx(port, vc)].len()
+				outPkts += r.outQ[r.idx(port, vc)].len()
+			}
+			if inPkts != r.inPortPkts[port] || outPkts != r.outPortPkts[port] {
+				return fmt.Errorf("sim: router %d port %d packet counters (%d,%d) != actual (%d,%d)",
+					r.ID, port, r.inPortPkts[port], r.outPortPkts[port], inPkts, outPkts)
+			}
+			if r.inMask.get(port) != (inPkts > 0) || r.outMask.get(port) != (outPkts > 0) {
+				return fmt.Errorf("sim: router %d port %d mask bits (in=%v,out=%v) disagree with packet counts (%d,%d)",
+					r.ID, port, r.inMask.get(port), r.outMask.get(port), inPkts, outPkts)
+			}
 			for vc := 0; vc < e.Cfg.NumVCs; vc++ {
 				i := r.idx(port, vc)
 				if r.outOcc[i] < 0 {

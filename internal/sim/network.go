@@ -16,9 +16,10 @@ type Router struct {
 	net      *Network
 	nPorts   int
 	netPorts int
-	neighbor []int       // network port -> neighbor router
-	portOf   map[int]int // neighbor router -> network port
-	nodeAt   []int       // terminal port index (0-based from netPorts) -> node
+	nv       int   // == net.Cfg.NumVCs, cached off the hot path's pointer chase
+	neighbor []int // network port -> neighbor router
+	revPort  []int // network port -> the port at that neighbor that leads back here
+	nodeAt   []int // terminal port index (0-based from netPorts) -> node
 
 	inQ  []queue // [port*numVC + vc]
 	outQ []queue
@@ -36,6 +37,16 @@ type Router struct {
 
 	inCount  int // packets currently buffered in input queues
 	outCount int // packets currently buffered in output queues
+
+	// Per-port packet counts and occupancy masks over them: bit p of
+	// inMask is set iff inPortPkts[p] > 0 (same for outMask). The
+	// engine's stages iterate these masks to skip empty (port, VC)
+	// groups. Maintained exclusively by the enqueue*/dequeue*/take*
+	// wrappers below — mutate the queues only through them.
+	inPortPkts  []int
+	outPortPkts []int
+	inMask      bitset
+	outMask     bitset
 
 	// portDown marks network ports whose link is currently failed.
 	// Nil unless a fault schedule is attached (see fault.go).
@@ -60,6 +71,16 @@ type Network struct {
 	Nodes   []*Node
 
 	nodeRouterPort []int // node -> terminal port index at its router
+
+	// Active sets (see activeset.go): bit r of actIn is set iff router
+	// r holds input-buffered packets (inCount > 0), actOut likewise for
+	// output buffers, and bit n of actNode iff node n holds source-queue
+	// or retransmission work. srcBusy counts nodes with a nonempty
+	// source queue, making the engine's drained() check O(1).
+	actIn   bitset
+	actOut  bitset
+	actNode bitset
+	srcBusy int
 }
 
 // Node is an end-node: a bounded source queue feeding the terminal
@@ -96,12 +117,9 @@ func NewNetwork(t topo.Topology, cfg Config) (*Network, error) {
 			net:      n,
 			netPorts: len(nbs),
 			nPorts:   len(nbs) + len(nodes),
+			nv:       cfg.NumVCs,
 			neighbor: nbs,
-			portOf:   make(map[int]int, len(nbs)),
 			nodeAt:   nodes,
-		}
-		for p, nb := range nbs {
-			rt.portOf[nb] = p
 		}
 		v := cfg.NumVCs
 		rt.inQ = make([]queue, rt.nPorts*v)
@@ -117,11 +135,30 @@ func NewNetwork(t topo.Topology, cfg Config) (*Network, error) {
 		rt.rrVC = make([]int, rt.nPorts)
 		rt.rrOut = make([]int, rt.nPorts)
 		rt.pendingOut = make([]int, rt.nPorts)
+		rt.inPortPkts = make([]int, rt.nPorts)
+		rt.outPortPkts = make([]int, rt.nPorts)
+		rt.inMask = newBitset(rt.nPorts)
+		rt.outMask = newBitset(rt.nPorts)
 		n.Routers[r] = rt
 		for i, node := range nodes {
 			n.nodeRouterPort[node] = len(nbs) + i
 		}
 	}
+	// Second pass: precompute the reverse port of every link, replacing
+	// the per-hop map lookup the stages used to do.
+	for _, rt := range n.Routers {
+		rt.revPort = make([]int, rt.netPorts)
+		for p, nb := range rt.neighbor {
+			back := n.Routers[nb].portTo(rt.ID)
+			if back < 0 {
+				return nil, fmt.Errorf("sim: asymmetric adjacency %d->%d", rt.ID, nb)
+			}
+			rt.revPort[p] = back
+		}
+	}
+	n.actIn = newBitset(g.N())
+	n.actOut = newBitset(g.N())
+	n.actNode = newBitset(t.Nodes())
 	for id := 0; id < t.Nodes(); id++ {
 		nd := &Node{ID: id, Router: t.NodeRouter(id), credits: make([]int, cfg.NumVCs)}
 		for v := range nd.credits {
@@ -139,11 +176,28 @@ func (r *Router) Network() *Network { return r.net }
 // PortTo returns the network port of this router that leads to the
 // neighboring router next, or an error if they are not adjacent.
 func (r *Router) PortTo(next int) (int, error) {
-	p, ok := r.portOf[next]
-	if !ok {
-		return 0, fmt.Errorf("sim: router %d not adjacent to %d", r.ID, next)
+	if p := r.portTo(next); p >= 0 {
+		return p, nil
 	}
-	return p, nil
+	return 0, fmt.Errorf("sim: router %d not adjacent to %d", r.ID, next)
+}
+
+// portTo is the allocation-free core of PortTo: binary search over the
+// neighbor list (graph adjacency is kept sorted), -1 if not adjacent.
+func (r *Router) portTo(next int) int {
+	lo, hi := 0, len(r.neighbor)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.neighbor[mid] < next {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.neighbor) && r.neighbor[lo] == next {
+		return lo
+	}
+	return -1
 }
 
 // NeighborAt returns the router on the other end of a network port.
@@ -181,7 +235,84 @@ func (r *Router) OutBufferOccupancy(port int) int {
 // router that ejects to that node.
 func (n *Network) terminalPortFor(node int) int { return n.nodeRouterPort[node] }
 
-func (r *Router) idx(port, vc int) int { return port*r.net.Cfg.NumVCs + vc }
+func (r *Router) idx(port, vc int) int { return port*r.nv + vc }
 
 // isTerminal reports whether a port is a terminal (node) port.
 func (r *Router) isTerminal(port int) bool { return port >= r.netPorts }
+
+// Queue-mutation wrappers. All input/output buffer pushes and pops go
+// through these so the packet counters, per-port masks and the
+// network-level active sets stay consistent by construction — a router
+// is in actIn/actOut exactly while it holds buffered packets, which is
+// the wake-list invariant the active-set engine relies on (DESIGN.md
+// §10). This includes the fault injector's drop paths.
+
+// enqueueIn buffers a packet at an input (port, vc) and wakes the
+// router for switch allocation.
+func (r *Router) enqueueIn(port, vc int, ent entry) {
+	r.inQ[port*r.nv+vc].push(ent)
+	r.inCount++
+	r.inPortPkts[port]++
+	r.inMask.set(port)
+	r.net.actIn.set(r.ID)
+}
+
+// takeIn removes the i-th packet of an input (port, vc) queue,
+// retiring the router from the input active set if it was the last.
+func (r *Router) takeIn(port, vc, i int) entry {
+	ent := r.inQ[port*r.nv+vc].removeAt(i)
+	r.inCount--
+	if r.inPortPkts[port]--; r.inPortPkts[port] == 0 {
+		r.inMask.clear(port)
+	}
+	if r.inCount == 0 {
+		r.net.actIn.clear(r.ID)
+	}
+	return ent
+}
+
+// enqueueOut buffers a packet at an output (port, vc) and wakes the
+// router for link traversal.
+func (r *Router) enqueueOut(port, vc int, ent entry) {
+	r.outQ[port*r.nv+vc].push(ent)
+	r.outCount++
+	r.outPortPkts[port]++
+	r.outMask.set(port)
+	r.net.actOut.set(r.ID)
+}
+
+// dequeueOut pops the head packet of an output (port, vc) queue,
+// retiring the router from the output active set if it was the last.
+func (r *Router) dequeueOut(port, vc int) entry {
+	ent := r.outQ[port*r.nv+vc].pop()
+	r.outCount--
+	if r.outPortPkts[port]--; r.outPortPkts[port] == 0 {
+		r.outMask.clear(port)
+	}
+	if r.outCount == 0 {
+		r.net.actOut.clear(r.ID)
+	}
+	return ent
+}
+
+// pushSrc appends a freshly generated packet to a node's source queue
+// and wakes the node for injection.
+func (n *Network) pushSrc(nd *Node, p *Packet) {
+	if nd.srcQ.empty() {
+		n.srcBusy++
+	}
+	nd.srcQ.push(entry{pkt: p})
+	n.actNode.set(nd.ID)
+}
+
+// popSrc removes the head of a node's source queue, putting the node
+// to sleep if it has no remaining injection work.
+func (n *Network) popSrc(nd *Node) {
+	nd.srcQ.pop()
+	if nd.srcQ.empty() {
+		n.srcBusy--
+		if len(nd.retxQ) == 0 {
+			n.actNode.clear(nd.ID)
+		}
+	}
+}

@@ -24,6 +24,32 @@ type Packet struct {
 	FirstDrop int64 // cycle of the first drop (valid when Retx > 0)
 }
 
+// Packet freelist. Ownership rules (DESIGN.md §10): a Packet belongs
+// to the engine from allocation in injectStage until deliver() runs
+// its last hook, at which point it returns to the pool; dropped
+// packets awaiting retransmission stay owned by their node's retxQ and
+// are never freed while queued. Nothing outside the engine may retain
+// a *Packet across cycles — hooks that need the data after delivery
+// (e.g. RouteRecorder) copy what they keep and key it by Packet.ID.
+
+// allocPacket returns a zeroed Packet, recycling a delivered one when
+// the pool has stock.
+func (e *Engine) allocPacket() *Packet {
+	if n := len(e.pktFree); n > 0 {
+		p := e.pktFree[n-1]
+		e.pktFree = e.pktFree[:n-1]
+		*p = Packet{}
+		return p
+	}
+	return new(Packet)
+}
+
+// freePacket returns a delivered Packet to the pool. Callers must not
+// touch p afterwards.
+func (e *Engine) freePacket(p *Packet) {
+	e.pktFree = append(e.pktFree, p)
+}
+
 // queue is a FIFO of buffer entries backed by a slice with an
 // amortized-compacting head index.
 type queue struct {
