@@ -29,6 +29,12 @@
 // Profiling: -cpuprofile/-memprofile write pprof profiles of the run;
 // the summary always includes the achieved simulation rate (cycles/s).
 // See README, "Profiling the engine".
+//
+// Observability: -telemetry collects the unified telemetry of the run
+// (congestion heatmap, minimal-vs-indirect latency split, flight
+// recorder); -trace-out FILE exports the recorded events as JSONL and
+// -http ADDR serves /telemetry, /debug/vars and /debug/pprof live.
+// See README, "Observability".
 package main
 
 import (
@@ -71,6 +77,10 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+
+		telemetryOn = flag.Bool("telemetry", false, "collect unified telemetry (heatmap, latency split, flight recorder)")
+		traceOut    = flag.String("trace-out", "", "write the flight-recorder event trace as JSONL to this file (implies -telemetry)")
+		httpAddr    = flag.String("http", "", "serve /telemetry, /debug/vars and /debug/pprof on this address, e.g. :6060 (implies -telemetry)")
 	)
 	flag.Parse()
 	fp := harness.FaultPlan{
@@ -92,7 +102,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "diam2sim:", err)
 		os.Exit(1)
 	}
-	runErr := run(ctx, *topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, *jobs, *progress, fp)
+	tel := telOpts{
+		enabled:  *telemetryOn || *traceOut != "" || *httpAddr != "",
+		traceOut: *traceOut,
+		httpAddr: *httpAddr,
+	}
+	runErr := run(ctx, *topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, *jobs, *progress, fp, tel)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sim:", err)
 		os.Exit(1)
@@ -163,7 +178,7 @@ func parseAlg(name string) (harness.AlgKind, error) {
 	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
-func run(ctx context.Context, topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool, jobs int, progress bool, fp harness.FaultPlan) error {
+func run(ctx context.Context, topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool, jobs int, progress bool, fp harness.FaultPlan, tel telOpts) error {
 	preset, err := findPreset(topoName)
 	if err != nil {
 		return err
@@ -189,6 +204,11 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", done, total, key, elapsed.Round(time.Millisecond))
 		}
 	}
+	sink, telShutdown, err := tel.setup(&sc)
+	if err != nil {
+		return err
+	}
+	defer telShutdown()
 	ugal := preset.BestAdaptive
 	if ni > 0 {
 		ugal.NI = ni
@@ -252,7 +272,7 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 		fmt.Printf("effective throughput %.1f%% of injection bandwidth\n", eff*100)
 		printResults(res)
 		simRate()
-		return nil
+		return tel.report(sink)
 	}
 
 	var pat harness.PatternKind
@@ -277,7 +297,7 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 		fmt.Printf("saturation load (%s, %s): %.3f of injection bandwidth\n", pattern, algName, sat)
 		simRate()
 		fmt.Fprintf(os.Stderr, "diam2sim: %d points in %s wall time\n", len(curve), time.Since(start).Round(time.Millisecond))
-		return nil
+		return tel.report(sink)
 	}
 	res, err := harness.RunSynthetic(tp, alg, ugal, pat, load, sc)
 	if err != nil {
@@ -288,7 +308,7 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 	fmt.Printf("delivered throughput %.1f%% of injection bandwidth\n", res.Throughput*100)
 	printResults(res)
 	simRate()
-	return nil
+	return tel.report(sink)
 }
 
 func printResults(res sim.Results) {

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"diam2/internal/harness"
+	"diam2/internal/telemetry"
+)
+
+// telOpts carries the -telemetry/-trace-out/-http flag values.
+type telOpts struct {
+	enabled  bool
+	traceOut string
+	httpAddr string
+}
+
+// setup wires a telemetry sink (and, with -http, a live registry) into
+// the scale. It returns the sink (nil when disabled) and a teardown
+// function for the HTTP server.
+func (o telOpts) setup(sc *harness.Scale) (*harness.TelemetrySink, func(), error) {
+	if !o.enabled {
+		return nil, func() {}, nil
+	}
+	sink := &harness.TelemetrySink{}
+	sc.Telemetry = harness.TelemetryPlan{Sink: sink}
+	shutdown := func() {}
+	if o.httpAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.PublishExpvar()
+		sc.Telemetry.Registry = reg
+		addr, stop, err := reg.Serve(o.httpAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: live at http://%s/telemetry (pprof under /debug/pprof/)\n", addr)
+		shutdown = func() { _ = stop() }
+	}
+	return sink, shutdown, nil
+}
+
+// report prints the telemetry summary and writes the JSONL trace.
+func (o telOpts) report(sink *harness.TelemetrySink) error {
+	if sink == nil {
+		return nil
+	}
+	tot := sink.Totals()
+	fmt.Printf("telemetry %d run(s): injected=%d delivered=%d dropped=%d link-flits=%d\n",
+		tot.Points, tot.Injected, tot.Delivered, tot.Dropped, tot.LinkFlits)
+	for i, snap := range sink.Snapshots() {
+		if i == 6 {
+			fmt.Printf("  ... %d more runs\n", tot.Points-i)
+			break
+		}
+		fmt.Printf("  %s: latency min-routed n=%d avg=%.0f p99=%.0f | indirect n=%d avg=%.0f p99=%.0f\n",
+			snap.Label,
+			snap.LatencyMinimal.N, snap.LatencyMinimal.Mean, snap.LatencyMinimal.P99,
+			snap.LatencyIndirect.N, snap.LatencyIndirect.Mean, snap.LatencyIndirect.P99)
+	}
+	heat := sink.Heatmap()
+	for i, l := range heat {
+		if i == 8 {
+			fmt.Printf("  ... %d more links\n", len(heat)-i)
+			break
+		}
+		if i == 0 {
+			fmt.Println("hottest links (flits, load):")
+		}
+		fmt.Printf("  %4d -> %-4d %10d  %.3f\n", l.From, l.To, l.Flits, l.Load)
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := sink.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: event trace written to %s\n", o.traceOut)
+	}
+	return nil
+}

@@ -30,6 +30,13 @@
 // Profiling: -cpuprofile/-memprofile write pprof profiles of the whole
 // sweep, and the stderr summary reports the achieved simulation rate
 // (sim-cycles and cycles/s). See README, "Profiling the engine".
+//
+// Observability: -telemetry attaches a collector to every sweep point;
+// -trace-out FILE exports the per-point flight-recorder events as
+// JSONL, -heatmap FILE writes the aggregated per-link congestion
+// heatmap as CSV, and -http ADDR serves /telemetry, /debug/vars and
+// /debug/pprof live while the sweep runs. Telemetry output is
+// byte-identical for any -j. See README, "Observability".
 package main
 
 import (
@@ -59,6 +66,11 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+
+		telemetryOn = flag.Bool("telemetry", false, "collect unified telemetry for every sweep point")
+		traceOut    = flag.String("trace-out", "", "write the per-point flight-recorder traces as JSONL to this file (implies -telemetry)")
+		heatmapOut  = flag.String("heatmap", "", "write the aggregated congestion heatmap as CSV to this file (implies -telemetry)")
+		httpAddr    = flag.String("http", "", "serve /telemetry, /debug/vars and /debug/pprof on this address, e.g. :6060 (implies -telemetry)")
 	)
 	flag.Parse()
 	if *fig == "" {
@@ -72,7 +84,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "diam2sweep:", err)
 		os.Exit(1)
 	}
-	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *progress)
+	tel := telOpts{
+		enabled:  *telemetryOn || *traceOut != "" || *heatmapOut != "" || *httpAddr != "",
+		traceOut: *traceOut,
+		heatmap:  *heatmapOut,
+		httpAddr: *httpAddr,
+	}
+	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *progress, tel)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sweep:", err)
 		os.Exit(1)
@@ -83,7 +101,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string, jobs int, progress bool) error {
+func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string, jobs int, progress bool, tel telOpts) error {
 	for _, dir := range []string{plotDir, csvDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -122,6 +140,11 @@ func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string,
 			}
 		},
 	}
+	sink, telShutdown, err := tel.setup(&sc)
+	if err != nil {
+		return err
+	}
+	defer telShutdown()
 	workers := jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -263,5 +286,5 @@ func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string,
 			return fmt.Errorf("fig %s: %w", f, err)
 		}
 	}
-	return nil
+	return tel.finish(sink)
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"diam2/internal/harness"
+	"diam2/internal/telemetry"
+)
+
+// telOpts carries the -telemetry/-trace-out/-heatmap/-http flag values.
+type telOpts struct {
+	enabled  bool
+	traceOut string
+	heatmap  string
+	httpAddr string
+}
+
+// setup wires a telemetry sink (and, with -http, a live registry) into
+// the scale, returning the sink (nil when disabled) and an HTTP
+// teardown function.
+func (o telOpts) setup(sc *harness.Scale) (*harness.TelemetrySink, func(), error) {
+	if !o.enabled {
+		return nil, func() {}, nil
+	}
+	sink := &harness.TelemetrySink{}
+	sc.Telemetry = harness.TelemetryPlan{Sink: sink}
+	shutdown := func() {}
+	if o.httpAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.PublishExpvar()
+		sc.Telemetry.Registry = reg
+		addr, stop, err := reg.Serve(o.httpAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: live at http://%s/telemetry (pprof under /debug/pprof/)\n", addr)
+		shutdown = func() { _ = stop() }
+	}
+	return sink, shutdown, nil
+}
+
+// finish exports the sweep's accumulated telemetry: the JSONL event
+// trace, the aggregated heatmap CSV, and a one-line stderr summary.
+func (o telOpts) finish(sink *harness.TelemetrySink) error {
+	if sink == nil {
+		return nil
+	}
+	tot := sink.Totals()
+	fmt.Fprintf(os.Stderr, "telemetry: %d points, injected=%d delivered=%d dropped=%d link-flits=%d\n",
+		tot.Points, tot.Injected, tot.Delivered, tot.Dropped, tot.LinkFlits)
+	write := func(path, what string, render func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: %s written to %s\n", what, path)
+		return nil
+	}
+	if err := write(o.traceOut, "event trace", func(f *os.File) error { return sink.WriteTrace(f) }); err != nil {
+		return err
+	}
+	return write(o.heatmap, "congestion heatmap", func(f *os.File) error { return sink.WriteHeatmapCSV(f) })
+}

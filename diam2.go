@@ -7,6 +7,7 @@ import (
 	"diam2/internal/partition"
 	"diam2/internal/routing"
 	"diam2/internal/sim"
+	"diam2/internal/telemetry"
 	"diam2/internal/topo"
 	"diam2/internal/traffic"
 	"diam2/internal/viz"
@@ -279,6 +280,38 @@ var (
 // ReplicationStats summarizes independent replications of one
 // experiment point.
 type ReplicationStats = harness.Replication
+
+// Telemetry: the unified observability layer (DESIGN.md §11). A
+// TelemetryCollector attaches to an engine (Engine.AttachTelemetry) or,
+// via Scale.Telemetry, to every point of a sweep; it observes without
+// perturbing — results are bit-identical with and without one attached.
+type (
+	// TelemetryCollector gathers one run's heatmap, latency split and
+	// flight-recorder events.
+	TelemetryCollector = telemetry.Collector
+	// TelemetryOptions configures a collector.
+	TelemetryOptions = telemetry.Options
+	// TelemetrySnapshot is a JSON-serializable view of a collector.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryEvent is one flight-recorder record.
+	TelemetryEvent = telemetry.Event
+	// TelemetryRegistry tracks live collectors for the HTTP endpoint.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryPlan opts a Scale's runs into telemetry collection.
+	TelemetryPlan = harness.TelemetryPlan
+	// TelemetrySink accumulates per-point bundles of a sweep.
+	TelemetrySink = harness.TelemetrySink
+	// LinkSnap is one directed link of a congestion heatmap.
+	LinkSnap = telemetry.LinkSnap
+)
+
+// Telemetry constructors and helpers.
+var (
+	NewTelemetryCollector = telemetry.NewCollector
+	NewTelemetryRegistry  = telemetry.NewRegistry
+	MergeTelemetryLinks   = telemetry.MergeLinks
+	WriteHeatmapCSV       = telemetry.WriteHeatmapCSV
+)
 
 // Bisection analysis (Fig. 4 substrate).
 var (

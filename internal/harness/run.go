@@ -38,6 +38,10 @@ type Scale struct {
 	// identical for any worker count: every sweep point runs with a
 	// seed derived from (Seed, point key), not from execution order.
 	Sched Sched
+	// Telemetry opts every run at this scale into the unified
+	// telemetry layer (see telemetry.go); the zero value attaches
+	// nothing and leaves the engine's hot path untouched.
+	Telemetry TelemetryPlan
 }
 
 // PaperScale is the Section 4.1 setup: 200 us simulated, 20 us
@@ -171,8 +175,11 @@ func RunSynthetic(t topo.Topology, kind AlgKind, ugal UGALConfig, pat PatternKin
 	if err := scale.Faults.apply(e, t, scale); err != nil {
 		return sim.Results{}, err
 	}
+	col := scale.Telemetry.attach(e, fmt.Sprintf("%s|%s|%s|load=%.4f|seed=%d", t.Name(), kind, pat, load, scale.Seed))
 	e.Warmup = scale.Warmup
 	e.Run(scale.Cycles)
+	e.Finish()
+	scale.Telemetry.collect(col)
 	res := e.Results()
 	countCycles(res.Cycles)
 	return res, nil
@@ -197,7 +204,11 @@ func RunExchange(t topo.Topology, kind AlgKind, ugal UGALConfig, ex *traffic.Exc
 	if err := scale.Faults.apply(e, t, scale); err != nil {
 		return sim.Results{}, 0, err
 	}
-	if !e.RunUntilDrained(scale.MaxDrain) {
+	col := scale.Telemetry.attach(e, fmt.Sprintf("%s|%s|%s|seed=%d", t.Name(), kind, ex.Name(), scale.Seed))
+	drained := e.RunUntilDrained(scale.MaxDrain)
+	e.Finish()
+	scale.Telemetry.collect(col)
+	if !drained {
 		return e.Results(), 0, fmt.Errorf("harness: exchange %s did not drain in %d cycles", ex.Name(), scale.MaxDrain)
 	}
 	res := e.Results()

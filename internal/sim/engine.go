@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"diam2/internal/metrics"
+	"diam2/internal/telemetry"
 )
 
 // RoutingAlgorithm chooses ports and virtual channels. Implementations
@@ -111,9 +112,10 @@ type Engine struct {
 
 	linkStats LinkStats
 
-	observer     DeliveryObserver // optional delivery hook of the workload
-	recorder     *RouteRecorder   // optional per-packet route capture
-	perNodeFlits []int64          // optional per-destination accounting
+	observer     DeliveryObserver     // optional delivery hook of the workload
+	recorder     *RouteRecorder       // optional per-packet route capture
+	perNodeFlits []int64              // optional per-destination accounting
+	tel          *telemetry.Collector // optional unified telemetry (see telemetry.go)
 
 	// Fault injection (nil / zero without a schedule; see fault.go).
 	faults        *faultState
@@ -278,6 +280,9 @@ func (e *Engine) deliver(p *Packet) {
 	if e.recorder != nil {
 		e.recorder.recordDeliver(p)
 	}
+	if e.tel != nil {
+		e.tel.Deliver(e.now, p.ID, p.Src, p.Dst, float64(p.DeliverTime-p.GenTime), p.Minimal, p.Hops, p.Flits)
+	}
 	if p.GenTime >= e.Warmup {
 		e.latGen.Add(float64(p.DeliverTime - p.GenTime))
 		e.latNet.Add(float64(p.DeliverTime - p.InjectTime))
@@ -338,6 +343,9 @@ func (e *Engine) linkStage() {
 						outPort: -1,
 					})
 					e.recordLink(r.ID, next.ID, e.pktFlits)
+					if e.tel != nil {
+						e.tel.LinkTraverse(r.ID, next.ID, vc, e.pktFlits)
+					}
 					if e.recorder != nil {
 						e.recorder.recordHop(ent.pkt, next.ID, ent.pkt.VC)
 					}
@@ -427,6 +435,9 @@ func (e *Engine) switchAllocPort(r *Router, port, nv int, xfer, swLat, linkLat i
 					cand.outPort, cand.outVC = e.Alg.NextHop(p, r, e.rng)
 				}
 				r.pendingOut[cand.outPort] += p.Flits
+				if e.tel != nil {
+					e.tel.Route(e.now, p.ID, p.Src, p.Dst, r.ID, cand.outPort, p.VC, cand.outVC, p.Minimal)
+				}
 			}
 			if r.outAccept[cand.outPort] > e.now {
 				continue
@@ -552,6 +563,13 @@ func (e *Engine) tryInject(nd *Node) {
 	e.injected++
 	if e.recorder != nil {
 		e.recorder.recordInject(p)
+	}
+	if e.tel != nil {
+		if retx >= 0 {
+			e.tel.Retransmit(e.now, p.ID, p.Src, p.Dst, nd.Router, vc, e.pktFlits)
+		} else {
+			e.tel.Inject(e.now, p.ID, p.Src, p.Dst, nd.Router, vc, e.pktFlits)
+		}
 	}
 	if e.now >= e.Warmup {
 		e.injectedFlitsWindow += int64(p.Flits)

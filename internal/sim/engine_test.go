@@ -12,6 +12,11 @@ import (
 	"diam2/internal/traffic"
 )
 
+// telHook, when non-nil, is applied to every engine the test helpers
+// build. TestGoldenStatsTelemetry sets it to attach a telemetry
+// collector, re-running the golden scenarios under observation.
+var telHook func(*sim.Engine)
+
 // buildEngine wires a topology, algorithm factory and workload with a
 // test-sized config.
 func buildEngine(t *testing.T, tp topo.Topology, alg sim.RoutingAlgorithm, w sim.Workload) *sim.Engine {
@@ -24,6 +29,9 @@ func buildEngine(t *testing.T, tp topo.Topology, alg sim.RoutingAlgorithm, w sim
 	e, err := sim.NewEngine(net, alg, w)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if telHook != nil {
+		telHook(e)
 	}
 	return e
 }

@@ -269,6 +269,7 @@ func (e *Engine) applyUp(link [2]int) bool {
 func (e *Engine) dropLinkTraffic(u, v *Router) {
 	pu := u.portTo(v.ID)
 	pv := v.portTo(u.ID)
+	linkLat := int64(e.Cfg.LinkLatency)
 	for vc := 0; vc < e.Cfg.NumVCs; vc++ {
 		q := &v.inQ[v.idx(pv, vc)]
 		for i := q.len() - 1; i >= 0; i-- {
@@ -278,7 +279,14 @@ func (e *Engine) dropLinkTraffic(u, v *Router) {
 			if q.at(i).ready > e.now {
 				ent := v.takeIn(pv, vc, i)
 				u.credits[u.idx(pu, vc)] += e.pktFlits
-				e.dropPacket(ent.pkt)
+				// The flits never arrived: restitute the utilization
+				// credit recordLink granted when the transfer started
+				// (ready - linkLat), alongside the buffer credits.
+				e.uncreditLink(u.ID, v.ID, e.pktFlits, ent.ready-linkLat)
+				if e.tel != nil {
+					e.tel.LinkRestitute(u.ID, v.ID, vc, e.pktFlits)
+				}
+				e.dropPacket(ent.pkt, u.ID, pu, vc)
 			}
 		}
 		e.dropDeadOutput(u, pu, vc)
@@ -292,7 +300,7 @@ func (e *Engine) dropDeadOutput(r *Router, port, vc int) {
 	for !q.empty() {
 		ent := r.dequeueOut(port, vc)
 		r.outOcc[r.idx(port, vc)] -= e.pktFlits
-		e.dropPacket(ent.pkt)
+		e.dropPacket(ent.pkt, r.ID, port, vc)
 	}
 }
 
@@ -364,8 +372,12 @@ func subgraphWithout(base *graph.Graph, down map[[2]int]bool) *graph.Graph {
 
 // dropPacket removes a packet from the network and queues it at its
 // source for retransmission after the timeout, doubling per attempt
-// (exponential backoff, capped so the shift stays sane).
-func (e *Engine) dropPacket(p *Packet) {
+// (exponential backoff, capped so the shift stays sane). router, port
+// and vc locate the failing link for the telemetry flight recorder.
+func (e *Engine) dropPacket(p *Packet, router, port, vc int) {
+	if e.tel != nil {
+		e.tel.Drop(e.now, p.ID, p.Src, p.Dst, router, port, vc)
+	}
 	e.droppedPkts++
 	if p.Retx == 0 {
 		p.FirstDrop = e.now

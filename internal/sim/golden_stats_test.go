@@ -116,6 +116,9 @@ var goldenScenarios = []struct {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if telHook != nil {
+			telHook(e)
+		}
 		e.Warmup = 1000
 		e.Run(8000)
 		return e.Results()

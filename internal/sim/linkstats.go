@@ -28,6 +28,32 @@ func (e *Engine) recordLink(from, to, flits int) {
 	e.linkStats.flits[[2]int{from, to}] += int64(flits)
 }
 
+// uncreditLink reverses a recordLink credit for flits that a link
+// failure dropped in flight: they left the sender but never arrived,
+// so they are not carried traffic. sentAt is the cycle the transfer
+// started (when recordLink credited it), which decides whether the
+// original credit fell inside the measurement window.
+func (e *Engine) uncreditLink(from, to, flits int, sentAt int64) {
+	if !e.linkStats.enabled || sentAt < e.Warmup {
+		return
+	}
+	e.linkStats.flits[[2]int{from, to}] -= int64(flits)
+}
+
+// LinkFlits returns a copy of the raw per-link flit counters recorded
+// during the measurement window (nil unless EnableLinkStats was
+// called). Flits dropped in flight by link failures are not counted.
+func (e *Engine) LinkFlits() map[[2]int]int64 {
+	if e.linkStats.flits == nil {
+		return nil
+	}
+	out := make(map[[2]int]int64, len(e.linkStats.flits))
+	for k, v := range e.linkStats.flits {
+		out[k] = v
+	}
+	return out
+}
+
 // LinkLoad is the utilization of one directed link over the
 // measurement window (1.0 = fully occupied every cycle).
 type LinkLoad struct {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"diam2/internal/telemetry"
 	"diam2/internal/topo"
 )
 
@@ -81,6 +82,11 @@ type Network struct {
 	actOut  bitset
 	actNode bitset
 	srcBusy int
+
+	// tel mirrors Engine.tel so the queue-mutation wrappers can report
+	// per-VC occupancy without a pointer chase through the engine. Nil
+	// unless telemetry is attached; the wrappers pay one nil check.
+	tel *telemetry.Collector
 }
 
 // Node is an end-node: a bounded source queue feeding the terminal
@@ -255,6 +261,9 @@ func (r *Router) enqueueIn(port, vc int, ent entry) {
 	r.inPortPkts[port]++
 	r.inMask.set(port)
 	r.net.actIn.set(r.ID)
+	if r.net.tel != nil {
+		r.net.tel.VCEnqueue(r.ID, vc)
+	}
 }
 
 // takeIn removes the i-th packet of an input (port, vc) queue,
@@ -267,6 +276,9 @@ func (r *Router) takeIn(port, vc, i int) entry {
 	}
 	if r.inCount == 0 {
 		r.net.actIn.clear(r.ID)
+	}
+	if r.net.tel != nil {
+		r.net.tel.VCDequeue(r.ID, vc)
 	}
 	return ent
 }

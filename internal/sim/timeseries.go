@@ -36,3 +36,22 @@ func (e *Engine) sampleTick() {
 	e.lastSampleFlits = e.deliveredFlitsTotal
 	e.sampleCount = 0
 }
+
+// flushSample emits the final partial window when a run ends
+// mid-interval, so short runs (and the tail of every run) appear in
+// the series instead of being silently dropped. The point is
+// normalized by the partial window's actual width. Idempotent: a
+// second call finds sampleCount == 0 and does nothing. Called from
+// Engine.Finish.
+func (e *Engine) flushSample() {
+	if e.sampleInterval == 0 || e.sampleCount == 0 {
+		return
+	}
+	delivered := e.deliveredFlitsTotal - e.lastSampleFlits
+	nodes := int64(len(e.Net.Nodes))
+	if nodes > 0 {
+		e.thrSeries.Add(e.now, float64(delivered)/float64(e.sampleCount*nodes))
+	}
+	e.lastSampleFlits = e.deliveredFlitsTotal
+	e.sampleCount = 0
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Registry tracks the collectors of a running process so a long sweep
+// can be inspected live: workers attach a point's collector for the
+// duration of its run, and the HTTP handler snapshots whatever is
+// active plus aggregate counters of everything that has completed.
+type Registry struct {
+	mu        sync.Mutex
+	active    map[*Collector]int64 // collector -> attach order
+	nextSeq   int64
+	completed int64
+	// Aggregate counters folded in as collectors detach.
+	doneInjected, doneDelivered, doneDropped int64
+	doneLinkFlits                            int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{active: make(map[*Collector]int64)}
+}
+
+// Attach registers a collector as live.
+func (r *Registry) Attach(c *Collector) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.active[c] = r.nextSeq
+	r.nextSeq++
+}
+
+// Detach unregisters a collector, folding its totals into the
+// registry's completed-run aggregates.
+func (r *Registry) Detach(c *Collector) {
+	if r == nil || c == nil {
+		return
+	}
+	s := c.Snapshot(0)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.active[c]; !ok {
+		return
+	}
+	delete(r.active, c)
+	r.completed++
+	r.doneInjected += s.Injected
+	r.doneDelivered += s.Delivered
+	r.doneDropped += s.Dropped
+	r.doneLinkFlits += s.LinkFlits
+}
+
+// RegistrySnapshot is the /telemetry response body.
+type RegistrySnapshot struct {
+	Time      string      `json:"time"`
+	Active    []*Snapshot `json:"active"`
+	Completed int64       `json:"completed"`
+	// Totals over completed (detached) runs.
+	CompletedInjected  int64 `json:"completed_injected"`
+	CompletedDelivered int64 `json:"completed_delivered"`
+	CompletedDropped   int64 `json:"completed_dropped"`
+	CompletedLinkFlits int64 `json:"completed_link_flits"`
+}
+
+// Snapshot captures the live collectors (in attach order) and the
+// completed-run aggregates.
+func (r *Registry) Snapshot() *RegistrySnapshot {
+	r.mu.Lock()
+	type seqCol struct {
+		seq int64
+		c   *Collector
+	}
+	cols := make([]seqCol, 0, len(r.active))
+	for c, seq := range r.active {
+		cols = append(cols, seqCol{seq, c})
+	}
+	out := &RegistrySnapshot{
+		Time:               time.Now().UTC().Format(time.RFC3339),
+		Completed:          r.completed,
+		CompletedInjected:  r.doneInjected,
+		CompletedDelivered: r.doneDelivered,
+		CompletedDropped:   r.doneDropped,
+		CompletedLinkFlits: r.doneLinkFlits,
+	}
+	r.mu.Unlock() // snapshot collectors outside the registry lock
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && cols[j].seq < cols[j-1].seq; j-- {
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+		}
+	}
+	for _, sc := range cols {
+		out.Active = append(out.Active, sc.c.Snapshot(0))
+	}
+	return out
+}
+
+// Handler returns the observability mux: /telemetry (JSON registry
+// snapshot), /debug/vars (expvar) and /debug/pprof/* (runtime
+// profiles) — everything a long `diam2sweep -j N` run exposes live.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "diam2 telemetry: /telemetry /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar exports the registry under the expvar name
+// "diam2.telemetry" (idempotent; only the first registry wins, as
+// expvar names are process-global).
+func (r *Registry) PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("diam2.telemetry", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":6060") in a
+// background goroutine and returns the bound address (useful with
+// ":0") and a shutdown function. The server is best-effort: serve
+// errors after startup are discarded.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRegistryLifecycle: attach exposes a collector live, detach folds
+// its totals into the completed aggregates.
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	c := NewCollector(Options{Label: "p0"})
+	fill(c)
+	r.Attach(c)
+	s := r.Snapshot()
+	if len(s.Active) != 1 || s.Active[0].Label != "p0" {
+		t.Fatalf("active = %+v", s.Active)
+	}
+	if s.Completed != 0 {
+		t.Errorf("completed = %d before detach", s.Completed)
+	}
+	r.Detach(c)
+	s = r.Snapshot()
+	if len(s.Active) != 0 || s.Completed != 1 {
+		t.Fatalf("after detach: %d active, %d completed", len(s.Active), s.Completed)
+	}
+	if s.CompletedDelivered != 1 || s.CompletedInjected != 1 || s.CompletedLinkFlits != 8 {
+		t.Errorf("aggregates = %+v", s)
+	}
+	// Double detach must not double-count.
+	r.Detach(c)
+	if got := r.Snapshot().Completed; got != 1 {
+		t.Errorf("double detach counted: completed = %d", got)
+	}
+	// Nil registry and nil collector are no-ops.
+	var nilReg *Registry
+	nilReg.Attach(c)
+	nilReg.Detach(c)
+	r.Attach(nil)
+}
+
+// TestRegistryAttachOrder: /telemetry lists active collectors in attach
+// order regardless of map iteration.
+func TestRegistryAttachOrder(t *testing.T) {
+	r := NewRegistry()
+	labels := []string{"a", "b", "c", "d", "e"}
+	for _, l := range labels {
+		c := NewCollector(Options{Label: l})
+		c.Shape(1, 1)
+		r.Attach(c)
+	}
+	s := r.Snapshot()
+	for i, snap := range s.Active {
+		if snap.Label != labels[i] {
+			t.Fatalf("slot %d = %q, want %q", i, snap.Label, labels[i])
+		}
+	}
+}
+
+// TestHTTPHandler: the mux serves the JSON registry snapshot, the
+// expvar dump, the pprof index, and a root index line.
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	c := NewCollector(Options{Label: "live"})
+	fill(c)
+	r.Attach(c)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	code, body := get("/telemetry")
+	if code != http.StatusOK {
+		t.Fatalf("/telemetry status %d", code)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/telemetry not JSON: %v", err)
+	}
+	if len(snap.Active) != 1 || snap.Active[0].Label != "live" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	if code, _ := get("/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars status %d", code)
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "diam2 telemetry") {
+		t.Errorf("index status %d body %q", code, body)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d", code)
+	}
+}
+
+// TestServe: the background server binds, answers, and shuts down.
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	addr, shutdown, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
