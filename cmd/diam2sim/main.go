@@ -47,8 +47,10 @@ import (
 	"strings"
 	"time"
 
+	"diam2/internal/buildinfo"
 	"diam2/internal/harness"
 	"diam2/internal/sim"
+	"diam2/internal/store"
 	"diam2/internal/topo"
 	"diam2/internal/traffic"
 )
@@ -67,6 +69,9 @@ func main() {
 		saturate = flag.Bool("saturate", false, "sweep the load ladder for the saturation load instead of one run")
 		jobs     = flag.Int("j", 0, "worker-pool size for -saturate (0: all CPUs, 1: serial)")
 		progress = flag.Bool("progress", false, "report each completed sweep point on stderr")
+		storeDir = flag.String("store", "", "content-addressed result store for -saturate ladder points (see diam2sweep -store)")
+		force    = flag.Bool("force", false, "with -store, recompute every point (fresh results still recorded)")
+		version  = flag.Bool("version", false, "print build/version info and exit")
 
 		failLinks  = flag.Float64("fail-links", 0, "links to fail mid-run: a fraction (< 1) or a count (>= 1)")
 		failAt     = flag.Int64("fail-at", -1, "cycle at which -fail-links links go down (default: end of warmup)")
@@ -83,6 +88,11 @@ func main() {
 		httpAddr    = flag.String("http", "", "serve /telemetry, /debug/vars and /debug/pprof on this address, e.g. :6060 (implies -telemetry)")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("diam2sim"))
+		fmt.Printf("engine schema %d, store schema %d\n", sim.EngineSchema, store.Schema)
+		return
+	}
 	fp := harness.FaultPlan{
 		FailAt:         *failAt,
 		MTBF:           *mtbf,
@@ -107,7 +117,7 @@ func main() {
 		traceOut: *traceOut,
 		httpAddr: *httpAddr,
 	}
-	runErr := run(ctx, *topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, *jobs, *progress, fp, tel)
+	runErr := run(ctx, *topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, *jobs, *progress, fp, tel, *storeDir, *force)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sim:", err)
 		os.Exit(1)
@@ -178,7 +188,7 @@ func parseAlg(name string) (harness.AlgKind, error) {
 	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
-func run(ctx context.Context, topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool, jobs int, progress bool, fp harness.FaultPlan, tel telOpts) error {
+func run(ctx context.Context, topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool, jobs int, progress bool, fp harness.FaultPlan, tel telOpts, storeDir string, force bool) error {
 	preset, err := findPreset(topoName)
 	if err != nil {
 		return err
@@ -209,6 +219,22 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 		return err
 	}
 	defer telShutdown()
+	if storeDir != "" {
+		// The store rides the experiment scheduler, so it covers the
+		// -saturate ladder; a plain single run bypasses it.
+		st, err := store.OpenCLI(storeDir, "diam2sim")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			fmt.Fprintln(os.Stderr, "diam2sim:", st.Summary())
+			if cerr := st.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "diam2sim: store close:", cerr)
+			}
+		}()
+		sc.Sched.Store = st
+		sc.Sched.Force = force
+	}
 	ugal := preset.BestAdaptive
 	if ni > 0 {
 		ugal.NI = ni
@@ -225,12 +251,15 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 		return err
 	}
 	// Engine speed summary: total simulated cycles (all runs, all
-	// workers) over the wall time they took.
+	// workers) over the wall time they took. Stderr, like the sweep
+	// summary: it is timing-dependent (and absent on a full store
+	// replay), and stdout must stay byte-identical across -j values
+	// and warm -store reruns.
 	start := time.Now()
 	simRate := func() {
 		wall := time.Since(start)
 		if cyc := harness.SimulatedCycles(); cyc > 0 && wall > 0 {
-			fmt.Printf("engine    %d cycles simulated in %s (%.0f cycles/s)\n",
+			fmt.Fprintf(os.Stderr, "engine    %d cycles simulated in %s (%.0f cycles/s)\n",
 				cyc, wall.Round(time.Millisecond), float64(cyc)/wall.Seconds())
 		}
 	}

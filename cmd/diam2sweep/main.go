@@ -27,6 +27,16 @@
 // -j: every point's random stream is derived from (seed, point key),
 // never from scheduling order. Ctrl-C cancels the sweep promptly.
 //
+// Resumable campaigns: -store DIR opens (creating if needed) a
+// content-addressed result store and consults it before every sweep
+// point — an interrupted campaign rerun with the same flags recomputes
+// only the missing points and emits byte-identical output to a cold
+// serial run. Keys cover the fully-resolved point configuration plus
+// the engine schema version, so results from an older simulator are
+// never reused. -force recomputes everything (and refreshes the
+// store). Inspect stores with diam2store (list, verify, diff, gc).
+// See EXPERIMENTS.md, "Resumable campaigns".
+//
 // Profiling: -cpuprofile/-memprofile write pprof profiles of the whole
 // sweep, and the stderr summary reports the achieved simulation rate
 // (sim-cycles and cycles/s). See README, "Profiling the engine".
@@ -50,7 +60,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"diam2/internal/buildinfo"
 	"diam2/internal/harness"
+	"diam2/internal/sim"
+	"diam2/internal/store"
 )
 
 func main() {
@@ -63,6 +76,9 @@ func main() {
 		csvDir    = flag.String("csvdir", "", "also write each figure's data as CSV into this directory")
 		jobs      = flag.Int("j", 0, "sweep worker-pool size (0: all CPUs, 1: serial)")
 		progress  = flag.Bool("progress", false, "report each completed sweep point on stderr")
+		storeDir  = flag.String("store", "", "content-addressed result store: reuse completed points, record the rest (resumes interrupted campaigns)")
+		force     = flag.Bool("force", false, "with -store, recompute every point (fresh results still recorded)")
+		version   = flag.Bool("version", false, "print build/version info and exit")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
@@ -73,6 +89,11 @@ func main() {
 		httpAddr    = flag.String("http", "", "serve /telemetry, /debug/vars and /debug/pprof on this address, e.g. :6060 (implies -telemetry)")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("diam2sweep"))
+		fmt.Printf("engine schema %d, store schema %d\n", sim.EngineSchema, store.Schema)
+		return
+	}
 	if *fig == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -90,7 +111,7 @@ func main() {
 		heatmap:  *heatmapOut,
 		httpAddr: *httpAddr,
 	}
-	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *progress, tel)
+	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *progress, tel, *storeDir, *force)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sweep:", err)
 		os.Exit(1)
@@ -101,7 +122,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string, jobs int, progress bool, tel telOpts) error {
+func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string, jobs int, progress bool, tel telOpts, storeDir string, force bool) error {
 	for _, dir := range []string{plotDir, csvDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -145,6 +166,24 @@ func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string,
 		return err
 	}
 	defer telShutdown()
+	var st *store.Store
+	if storeDir != "" {
+		st, err = store.OpenCLI(storeDir, "diam2sweep")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			fmt.Fprintln(os.Stderr, "diam2sweep:", st.Summary())
+			if cerr := st.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "diam2sweep: store close:", cerr)
+			}
+		}()
+		sc.Sched.Store = st
+		sc.Sched.Force = force
+		if tel.enabled {
+			fmt.Fprintln(os.Stderr, "diam2sweep: telemetry collection recomputes every point (store lookups bypassed, results still recorded)")
+		}
+	}
 	workers := jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"os"
 
+	"diam2/internal/buildinfo"
 	"diam2/internal/fluid"
 	"diam2/internal/harness"
 	"diam2/internal/partition"
@@ -42,8 +43,13 @@ func main() {
 		exportEL  = flag.String("edgelist", "", "write the named paper topology as an edge list to stdout")
 		fluidSat  = flag.Bool("fluid", false, "analytic (fluid-model) saturation loads for the paper configurations")
 		draw      = flag.String("draw", "", "write a Fig. 1-style SVG diagram of the named topology (sf9|sf10|mlfm|oft) to stdout")
+		version   = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("diam2topo"))
+		return
+	}
 	if !*summary && !*scaling && !*bisection && *ml3b == 0 && !*diversity && !*lambda2 && !*fluidSat && *exportDOT == "" && *exportEL == "" && *draw == "" {
 		flag.Usage()
 		os.Exit(2)

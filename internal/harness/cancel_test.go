@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// This file tests prompt cancellation of the runs themselves (not just
+// the scheduler dispatch): a cancelled sweep must abort its in-flight
+// engine runs within milliseconds instead of running every straggler
+// to completion. The engine loops poll ctx every cancelCheckCycles
+// cycles, so even a point sized for hours stops almost immediately.
+
+// cancelDeadline bounds how long a cancelled run may keep going. The
+// engine polls ctx every ~8K cycles (microseconds of wall time), but a
+// point's setup — notably building an all-to-all workload, millions of
+// packet descriptors — is not ctx-checked and takes double-digit
+// seconds under the race detector. The bound therefore covers setup
+// plus prompt engine abort, while still failing hard against the
+// alternative: an uncancelled run of these scales takes many minutes.
+const cancelDeadline = 60 * time.Second
+
+// hugeScale is a scale whose points would take minutes uncancelled.
+func hugeScale() Scale {
+	sc := QuickScale()
+	sc.Cycles = 2_000_000_000
+	sc.Warmup = 1000
+	return sc
+}
+
+func assertPromptCancel(t *testing.T, name string, err error, elapsed time.Duration) {
+	t.Helper()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("%s returned %v, want context.Canceled", name, err)
+	}
+	if elapsed > cancelDeadline {
+		t.Fatalf("%s took %v to honor cancellation", name, elapsed)
+	}
+}
+
+func TestRunSyntheticCancelPrompt(t *testing.T) {
+	p := SmallPresets()[1]
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc := hugeScale()
+	sc.Sched.Ctx = ctx
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = RunSynthetic(tp, AlgMIN, p.BestAdaptive, PatUNI, 0.5, sc)
+	assertPromptCancel(t, "RunSynthetic", err, time.Since(start))
+}
+
+func TestFigExchangeCancelPrompt(t *testing.T) {
+	presets := SmallPresets()[1:2]
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc := QuickScale()
+	sc.A2APackets = 500 // a drain that runs for minutes uncancelled
+	sc.MaxDrain = 4_000_000_000
+	sc.Sched = Sched{Workers: 2, Ctx: ctx}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := FigExchange(presets, ExA2A, sc)
+	assertPromptCancel(t, "FigExchange", err, time.Since(start))
+}
+
+func TestResilienceSweepCancelPrompt(t *testing.T) {
+	presets := SmallPresets()[1:2]
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc := hugeScale()
+	sc.Sched = Sched{Workers: 2, Ctx: ctx}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := FigResilience(presets, []AlgKind{AlgMIN}, []PatternKind{PatUNI}, []float64{0, 0.05, 0.1, 0.15}, 0.2, sc)
+	assertPromptCancel(t, "FigResilience", err, time.Since(start))
+}

@@ -44,8 +44,8 @@ func Fig6Oblivious(presets []Preset, pat PatternKind, loads []float64, scale Sca
 			for _, load := range loads {
 				points = append(points, Point[sim.Results]{
 					Key: fmt.Sprintf("fig6|%s|%s|%s|load=%.4f", p.Name, kind, pat, load),
-					Run: func(_ context.Context, seed int64) (sim.Results, error) {
-						return RunSynthetic(tp, kind, p.BestAdaptive, pat, load, scale.forPoint(seed))
+					Run: func(ctx context.Context, seed int64) (sim.Results, error) {
+						return RunSynthetic(tp, kind, p.BestAdaptive, pat, load, scale.forPoint(ctx, seed))
 					},
 				})
 			}
@@ -118,8 +118,8 @@ func AdaptiveSweep(p Preset, kind AlgKind, varyNI []int, varyC []float64, fixedN
 			for _, load := range loads {
 				points = append(points, Point[sim.Results]{
 					Key: fmt.Sprintf("adaptive|%s|%s|nI=%d|c=%g|%s|load=%.4f", p.Name, kind, v.ni, v.c, pat, load),
-					Run: func(_ context.Context, seed int64) (sim.Results, error) {
-						return RunSynthetic(tp, kind, cfg, pat, load, scale.forPoint(seed))
+					Run: func(ctx context.Context, seed int64) (sim.Results, error) {
+						return RunSynthetic(tp, kind, cfg, pat, load, scale.forPoint(ctx, seed))
 					},
 				})
 			}
@@ -192,9 +192,11 @@ func FigExchange(presets []Preset, kind ExchangeKind, scale Scale) (*Table, erro
 		Header: []string{"topology", "routing", "effective throughput", "completion (cycles)"},
 	}
 	algs := []AlgKind{AlgMIN, AlgINR, AlgA}
+	// exResult's fields are exported so the experiment store can
+	// round-trip it through JSON like any other point payload.
 	type exResult struct {
-		res sim.Results
-		eff float64
+		Res sim.Results
+		Eff float64
 	}
 	var points []Point[exResult]
 	for _, p := range presets {
@@ -205,8 +207,8 @@ func FigExchange(presets []Preset, kind ExchangeKind, scale Scale) (*Table, erro
 		for _, alg := range algs {
 			points = append(points, Point[exResult]{
 				Key: fmt.Sprintf("exchange|%s|%s|%s", label, p.Name, alg),
-				Run: func(_ context.Context, seed int64) (exResult, error) {
-					sc := scale.forPoint(seed)
+				Run: func(ctx context.Context, seed int64) (exResult, error) {
+					sc := scale.forPoint(ctx, seed)
 					// Each point builds its own workload instance: the
 					// Exchange tracks per-pair progress and must not be
 					// shared between concurrent engines.
@@ -233,7 +235,7 @@ func FigExchange(presets []Preset, kind ExchangeKind, scale Scale) (*Table, erro
 			if alg == AlgA {
 				name = p.Name[:pfxLen(p.Name)] + "-A"
 			}
-			t.AddRow(p.Name, name, f3(r.eff), d(int(r.res.Cycles)))
+			t.AddRow(p.Name, name, f3(r.Eff), d(int(r.Res.Cycles)))
 		}
 	}
 	return t, nil

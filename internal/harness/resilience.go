@@ -129,8 +129,8 @@ func ResilienceSweep(pre Preset, kinds []AlgKind, pats []PatternKind, fracs []fl
 			for _, frac := range fracs {
 				points = append(points, Point[sim.Results]{
 					Key: fmt.Sprintf("resilience|%s|%s|%s|frac=%.4f|load=%.4f", pre.Name, kind, pat, frac, load),
-					Run: func(_ context.Context, seed int64) (sim.Results, error) {
-						scf := sc.forPoint(seed)
+					Run: func(ctx context.Context, seed int64) (sim.Results, error) {
+						scf := sc.forPoint(ctx, seed)
 						scf.Faults = FaultPlan{FailFrac: frac, FailAt: resilienceFailAt(sc)}
 						res, err := RunSynthetic(tp, kind, pre.BestAdaptive, pat, load, scf)
 						if err != nil {

@@ -106,11 +106,59 @@ func (s Scale) patternSeed() int64 {
 
 // forPoint returns the scale a sweep point runs with: the point's
 // derived seed drives the engine and fault draws, while the traffic
-// structure stays pinned to the sweep's base seed.
-func (s Scale) forPoint(seed int64) Scale {
+// structure stays pinned to the sweep's base seed. The scheduler's
+// context rides along so the run itself (not just the dispatch) stops
+// promptly on cancellation — without it, a cancelled sweep would run
+// its in-flight stragglers to completion.
+func (s Scale) forPoint(ctx context.Context, seed int64) Scale {
 	s.PatternSeed = s.patternSeed()
 	s.Seed = seed
+	s.Sched.Ctx = ctx
 	return s
+}
+
+// cancelCheckCycles is the granularity at which long engine runs poll
+// for cancellation: coarse enough to be free (one atomic-free ctx.Err
+// per ~8K simulated cycles), fine enough that even paper-scale points
+// abort within milliseconds of Ctrl-C.
+const cancelCheckCycles = 8192
+
+// runCycles advances the engine n cycles in cancellation-checked
+// chunks. Chunked stepping is bit-identical to one monolithic Run —
+// Run is a plain Step loop — so determinism is untouched.
+func runCycles(ctx context.Context, e *sim.Engine, n int64) error {
+	for n > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := int64(cancelCheckCycles)
+		if chunk > n {
+			chunk = n
+		}
+		e.Run(chunk)
+		n -= chunk
+	}
+	return nil
+}
+
+// runUntilDrained drains the engine with the same cancellation
+// polling; it reports whether the network drained before maxCycles.
+func runUntilDrained(ctx context.Context, e *sim.Engine, maxCycles int64) (bool, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		limit := e.Now() + cancelCheckCycles
+		if limit > maxCycles {
+			limit = maxCycles
+		}
+		if e.RunUntilDrained(limit) {
+			return true, nil
+		}
+		if e.Now() >= maxCycles {
+			return false, nil
+		}
+	}
 }
 
 // SimConfig returns the switch configuration for this scale and VC
@@ -177,7 +225,10 @@ func RunSynthetic(t topo.Topology, kind AlgKind, ugal UGALConfig, pat PatternKin
 	}
 	col := scale.Telemetry.attach(e, fmt.Sprintf("%s|%s|%s|load=%.4f|seed=%d", t.Name(), kind, pat, load, scale.Seed))
 	e.Warmup = scale.Warmup
-	e.Run(scale.Cycles)
+	if err := runCycles(scale.Sched.context(), e, scale.Cycles); err != nil {
+		scale.Telemetry.discard(col)
+		return sim.Results{}, err
+	}
 	e.Finish()
 	scale.Telemetry.collect(col)
 	res := e.Results()
@@ -205,7 +256,11 @@ func RunExchange(t topo.Topology, kind AlgKind, ugal UGALConfig, ex *traffic.Exc
 		return sim.Results{}, 0, err
 	}
 	col := scale.Telemetry.attach(e, fmt.Sprintf("%s|%s|%s|seed=%d", t.Name(), kind, ex.Name(), scale.Seed))
-	drained := e.RunUntilDrained(scale.MaxDrain)
+	drained, err := runUntilDrained(scale.Sched.context(), e, scale.MaxDrain)
+	if err != nil {
+		scale.Telemetry.discard(col)
+		return sim.Results{}, 0, err
+	}
 	e.Finish()
 	scale.Telemetry.collect(col)
 	if !drained {
@@ -227,8 +282,8 @@ func SaturationPoint(t topo.Topology, kind AlgKind, ugal UGALConfig, pat Pattern
 	for _, load := range loads {
 		points = append(points, Point[sim.Results]{
 			Key: fmt.Sprintf("sat|%s|%s|%s|load=%.4f", t.Name(), kind, pat, load),
-			Run: func(_ context.Context, seed int64) (sim.Results, error) {
-				return RunSynthetic(t, kind, ugal, pat, load, scale.forPoint(seed))
+			Run: func(ctx context.Context, seed int64) (sim.Results, error) {
+				return RunSynthetic(t, kind, ugal, pat, load, scale.forPoint(ctx, seed))
 			},
 		})
 	}

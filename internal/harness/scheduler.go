@@ -10,6 +10,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"diam2/internal/store"
 )
 
 // This file implements the experiment scheduler: every sweep in this
@@ -70,6 +72,14 @@ type Sched struct {
 	// (A context in a struct is unidiomatic, but Sched is a per-call
 	// options bag threaded through existing Scale-typed parameters.)
 	Ctx context.Context
+	// Store, when non-nil, consults the content-addressed experiment
+	// store before running each point and records every computed
+	// result, making interrupted campaigns resumable (see store.go in
+	// this package and the internal/store package).
+	Store *store.Store
+	// Force bypasses store lookups — every point recomputes — while
+	// still recording the fresh results.
+	Force bool
 }
 
 func (s Sched) context() context.Context {
@@ -166,6 +176,9 @@ func RunPoints[T any](sc Scale, points []Point[T], emit func(i int, res T) error
 	n := len(points)
 	if n == 0 {
 		return ctx.Err()
+	}
+	if sc.Sched.Store != nil {
+		points = storePoints(sc, points)
 	}
 	w := sc.Sched.workers(n)
 	if w == 1 {

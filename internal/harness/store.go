@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"diam2/internal/buildinfo"
+	"diam2/internal/sim"
+	"diam2/internal/store"
+)
+
+// This file wires the content-addressed experiment store (see
+// internal/store) into the scheduler. When Sched.Store is set, every
+// sweep point is wrapped so that it first consults the store under its
+// canonical key — a digest of the fully-resolved point configuration
+// plus sim.EngineSchema — and only recomputes on a miss; every computed
+// result is appended to the store with its provenance. Cache hits are
+// ordinary (fast) points to the scheduler: they flow through the same
+// in-order emit machinery, so a warm resume produces byte-identical
+// figure output to a cold serial run. The payloads are JSON; Go's
+// encoding round-trips float64 exactly, so rendered tables cannot
+// drift between a computed and a replayed result.
+//
+// Telemetry interplay: a cache hit never runs an engine, so it cannot
+// produce a telemetry bundle. Rather than emit sweeps whose telemetry
+// silently covers a subset of points (and whose bundle set would
+// depend on store state), a sweep with a telemetry sink attached
+// bypasses store lookups entirely — every point recomputes, results
+// are still recorded, and the sink sees exactly one bundle per point
+// in the usual label order.
+
+// pointConfig resolves the store configuration of one sweep point at
+// this scale. Everything that can change the point's output is either
+// in the point key (topology, algorithm, pattern, per-point load or
+// failure fraction) or in these fields.
+func (s Scale) pointConfig(pointKey string) store.PointConfig {
+	return store.PointConfig{
+		Point:        pointKey,
+		EngineSchema: sim.EngineSchema,
+		BaseSeed:     s.Seed,
+		PatternSeed:  s.patternSeed(),
+		Cycles:       s.Cycles,
+		Warmup:       s.Warmup,
+		MaxDrain:     s.MaxDrain,
+		A2APackets:   s.A2APackets,
+		NNPackets:    s.NNPackets,
+		Paper:        s.Paper,
+
+		FailCount:      s.Faults.FailCount,
+		FailFrac:       s.Faults.FailFrac,
+		FailAt:         s.Faults.FailAt,
+		MTBF:           s.Faults.MTBF,
+		MTTR:           s.Faults.MTTR,
+		RetxTimeout:    s.Faults.RetxTimeout,
+		RebuildLatency: s.Faults.RebuildLatency,
+	}
+}
+
+// storePoints wraps a sweep's points with store consultation and
+// recording. Lookups are skipped under -force and whenever telemetry
+// is collecting (see the file comment); recording always happens.
+func storePoints[T any](sc Scale, points []Point[T]) []Point[T] {
+	st := sc.Sched.Store
+	lookup := !sc.Sched.Force && sc.Telemetry.Sink == nil
+	out := make([]Point[T], len(points))
+	for i, p := range points {
+		key := sc.pointConfig(p.Key).Key()
+		run := p.Run
+		pointKey := p.Key
+		out[i] = Point[T]{
+			Key: p.Key,
+			Run: func(ctx context.Context, seed int64) (T, error) {
+				if lookup {
+					if rec, ok := st.Get(key); ok {
+						var v T
+						if err := json.Unmarshal(rec.Payload, &v); err == nil {
+							return v, nil
+						}
+						// Payload no longer decodes as T (the result
+						// type changed without an EngineSchema bump):
+						// treat as a miss and overwrite below.
+					}
+				}
+				start := time.Now()
+				v, err := run(ctx, seed)
+				if err != nil {
+					return v, err
+				}
+				payload, err := json.Marshal(v)
+				if err != nil {
+					return v, err
+				}
+				err = st.Put(store.Record{
+					Key:          key,
+					Point:        pointKey,
+					Seed:         seed,
+					BaseSeed:     sc.Seed,
+					EngineSchema: sim.EngineSchema,
+					Engine:       buildinfo.Version(),
+					WallMS:       float64(time.Since(start)) / float64(time.Millisecond),
+					Created:      time.Now().UTC().Format(time.RFC3339),
+					Payload:      payload,
+				})
+				return v, err
+			},
+		}
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diam2/internal/store"
+)
+
+// This file tests the scheduler/store integration: resumed sweeps must
+// be byte-identical to cold serial runs, cache hits must flow through
+// the in-order emit machinery like any other point, and the telemetry
+// and -force escape hatches must bypass lookups without losing
+// recording.
+
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// storeEqScale trims eqScale further still: the resume tests run the
+// same figure three times over (cold, populate, resume), and identity
+// between those runs does not depend on cycle count.
+func storeEqScale(workers int) Scale {
+	sc := eqScale(workers)
+	sc.Cycles = 3000
+	sc.Warmup = 600
+	return sc
+}
+
+// storeScale is storeEqScale with a store attached.
+func storeScale(workers int, st *store.Store) Scale {
+	sc := storeEqScale(workers)
+	sc.Sched.Store = st
+	return sc
+}
+
+// TestStoreWarmResumeByteIdentity is the acceptance criterion: a
+// campaign interrupted after some points (here: a sub-sweep covering
+// only load 0.3) and resumed with a racing worker pool must render the
+// exact bytes of a cold serial run, recomputing only the missing
+// points.
+func TestStoreWarmResumeByteIdentity(t *testing.T) {
+	presets := SmallPresets()[1:2]
+	loads := []float64{0.3, 0.8}
+
+	coldTab, err := Fig6Oblivious(presets, PatUNI, loads, storeEqScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := renderAll(t, coldTab)
+
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	defer st.Close()
+
+	// "Interrupted" campaign: only the load-0.3 points completed.
+	if _, err := Fig6Oblivious(presets, PatUNI, loads[:1], storeScale(2, st)); err != nil {
+		t.Fatal(err)
+	}
+	partial := st.Stats().Puts
+	if partial == 0 {
+		t.Fatal("partial sweep recorded nothing")
+	}
+	missesBefore := st.Stats().Misses
+
+	// Resume the full sweep on a racing pool.
+	warmTab, err := Fig6Oblivious(presets, PatUNI, loads, storeScale(4, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm := renderAll(t, warmTab); warm != cold {
+		t.Errorf("warm resume differs from cold serial run\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+	s := st.Stats()
+	if s.Hits != partial {
+		t.Errorf("resume reused %d points, want %d (every previously completed point)", s.Hits, partial)
+	}
+	if recomputed, missed := s.Puts-partial, s.Misses-missesBefore; recomputed != missed {
+		t.Errorf("resume recomputed %d points but missed %d", recomputed, missed)
+	}
+
+	// A second resume is a full replay: no point runs at all.
+	putsBefore := st.Stats().Puts
+	replayTab, err := Fig6Oblivious(presets, PatUNI, loads, storeScale(4, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay := renderAll(t, replayTab); replay != cold {
+		t.Errorf("all-hits replay differs from cold run")
+	}
+	if s := st.Stats(); s.Puts != putsBefore {
+		t.Errorf("all-hits replay appended %d new records", s.Puts-putsBefore)
+	}
+}
+
+// TestStoreMixedHitMissOrdering drives RunPoints with half the points
+// cached and the other half deliberately slow and racing, and checks
+// the emit order is still strictly submission order (satellite: Collect
+// ordering under mixed cache-hit/miss completion).
+func TestStoreMixedHitMissOrdering(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+
+	const n = 12
+	mkPoints := func(slowMisses bool) []Point[int] {
+		pts := make([]Point[int], n)
+		for i := 0; i < n; i++ {
+			i := i
+			pts[i] = Point[int]{
+				Key: fmt.Sprintf("mixed|i=%03d", i),
+				Run: func(ctx context.Context, seed int64) (int, error) {
+					if slowMisses {
+						// Scramble completion: earlier submissions
+						// finish later.
+						time.Sleep(time.Duration(n-i) * 3 * time.Millisecond)
+					}
+					return i * 10, nil
+				},
+			}
+		}
+		return pts
+	}
+
+	// Prepopulate the even points only.
+	all := mkPoints(false)
+	even := make([]Point[int], 0, n/2)
+	for i := 0; i < n; i += 2 {
+		even = append(even, all[i])
+	}
+	if err := RunPoints(storeScale(2, st), even, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Puts; got != int64(len(even)) {
+		t.Fatalf("prepopulation recorded %d points, want %d", got, len(even))
+	}
+
+	var order []int
+	got := make([]int, 0, n)
+	err := RunPoints(storeScale(4, st), mkPoints(true), func(i int, v int) error {
+		order = append(order, i)
+		got = append(got, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d points, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*10 {
+			t.Errorf("point %d emitted %d, want %d", i, v, i*10)
+		}
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("emit order %v is not submission order", order)
+		}
+	}
+	s := st.Stats()
+	if s.Hits < int64(len(even)) {
+		t.Errorf("cached points were recomputed: %d hits, want >= %d", s.Hits, len(even))
+	}
+}
+
+// TestStoreCancelMidSweep cancels from the emit callback while later
+// points (a mix of hits and slow misses) are still in flight: the
+// sweep must return the cancellation error, not hang or emit stale
+// results.
+func TestStoreCancelMidSweep(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+
+	const n = 10
+	mk := func() []Point[int] {
+		pts := make([]Point[int], n)
+		for i := 0; i < n; i++ {
+			i := i
+			pts[i] = Point[int]{
+				Key: fmt.Sprintf("cancel|i=%03d", i),
+				Run: func(ctx context.Context, seed int64) (int, error) {
+					select {
+					case <-time.After(5 * time.Millisecond):
+					case <-ctx.Done():
+						return 0, ctx.Err()
+					}
+					return i, nil
+				},
+			}
+		}
+		return pts
+	}
+	// Cache the first half so the cancelled resume sees mixed hits.
+	if err := RunPoints(storeScale(2, st), mk()[:n/2], nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc := storeScale(3, st)
+	sc.Sched.Ctx = ctx
+	var emitted atomic.Int32
+	err := RunPoints(sc, mk(), func(i int, v int) error {
+		if emitted.Add(1) == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+}
+
+// TestStoreTelemetryBypass: a sweep collecting telemetry must not use
+// cached results (a hit produces no bundle), even over a fully warm
+// store — but it still records.
+func TestStoreTelemetryBypass(t *testing.T) {
+	presets := SmallPresets()[1:2]
+	loads := []float64{0.3}
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+
+	if _, err := Fig6Oblivious(presets, PatUNI, loads, storeScale(1, st)); err != nil {
+		t.Fatal(err)
+	}
+	warm := st.Stats().Puts
+
+	sink := &TelemetrySink{}
+	sc := storeScale(2, st)
+	sc.Telemetry = TelemetryPlan{Sink: sink}
+	if _, err := Fig6Oblivious(presets, PatUNI, loads, sc); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.Hits != 0 {
+		t.Errorf("telemetry sweep reused %d cached points; lookups must be bypassed", s.Hits)
+	}
+	if s.Puts != 2*warm {
+		t.Errorf("telemetry sweep recorded %d points total, want %d (still records)", s.Puts, 2*warm)
+	}
+	if sink.Len() != int(warm) {
+		t.Errorf("sink holds %d bundles, want one per point (%d)", sink.Len(), warm)
+	}
+}
+
+// TestStoreForceRecomputes: -force bypasses lookups but records, and
+// the forced rerun renders identically (determinism crosscheck through
+// the store path).
+func TestStoreForceRecomputes(t *testing.T) {
+	presets := SmallPresets()[1:2]
+	loads := []float64{0.3}
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+
+	first, err := Fig6Oblivious(presets, PatUNI, loads, storeScale(1, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := st.Stats().Puts
+
+	sc := storeScale(2, st)
+	sc.Sched.Force = true
+	second, err := Fig6Oblivious(presets, PatUNI, loads, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.Hits != 0 {
+		t.Errorf("-force reused %d cached points", s.Hits)
+	}
+	if s.Puts != 2*warm {
+		t.Errorf("-force recorded %d points total, want %d", s.Puts, 2*warm)
+	}
+	if a, b := renderAll(t, first), renderAll(t, second); a != b {
+		t.Errorf("forced recompute differs from first run\n--- first ---\n%s\n--- forced ---\n%s", a, b)
+	}
+}
+
+// TestStoreCorruptTailRecovery: a record torn by a kill mid-append is
+// skipped at reopen, the resume recomputes exactly that point, and the
+// output still matches the cold run.
+func TestStoreCorruptTailRecovery(t *testing.T) {
+	presets := SmallPresets()[1:2]
+	loads := []float64{0.3, 0.8}
+
+	coldTab, err := Fig6Oblivious(presets, PatUNI, loads, storeEqScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := renderAll(t, coldTab)
+
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	if _, err := Fig6Oblivious(presets, PatUNI, loads, storeScale(1, st)); err != nil {
+		t.Fatal(err)
+	}
+	total := st.Stats().Puts
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments written: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	b, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, b[:len(b)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	defer st2.Close()
+	if c := st2.Corruptions(); len(c) != 1 {
+		t.Fatalf("reopen after torn tail reports %v, want one corruption", c)
+	}
+	warmTab, err := Fig6Oblivious(presets, PatUNI, loads, storeScale(4, st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm := renderAll(t, warmTab); warm != cold {
+		t.Errorf("resume over torn store differs from cold run")
+	}
+	s := st2.Stats()
+	if s.Puts != 1 || s.Hits != total-1 {
+		t.Errorf("resume recomputed %d points with %d hits, want exactly 1 recompute and %d hits",
+			s.Puts, s.Hits, total-1)
+	}
+}

@@ -50,6 +50,16 @@ func (tp TelemetryPlan) collect(c *telemetry.Collector) {
 	tp.Sink.add(c)
 }
 
+// discard detaches an aborted run's collector without depositing it:
+// the sink holds bundles of completed points only, so a cancelled
+// point must not leave a partial bundle behind.
+func (tp TelemetryPlan) discard(c *telemetry.Collector) {
+	if c == nil {
+		return
+	}
+	tp.Registry.Detach(c)
+}
+
 // TelemetrySink accumulates the per-point telemetry bundles of a sweep.
 // Workers deposit concurrently; every reader sees the bundles sorted by
 // label, so the exported trace and heatmap do not depend on completion

@@ -8,6 +8,16 @@ import (
 	"diam2/internal/telemetry"
 )
 
+// EngineSchema is the semantic version of the simulator: it changes
+// whenever a code change alters simulation *output* for a fixed
+// configuration and seed (routing decisions, arbitration order, credit
+// timing, fault handling, rng draw order). The experiment store folds
+// it into every content address, so results produced under older
+// semantics are never reused — they simply stop matching and are
+// recomputed (and reclaimable via diam2store gc). Bump it in the same
+// commit that updates the golden digests in testdata.
+const EngineSchema = 1
+
 // RoutingAlgorithm chooses ports and virtual channels. Implementations
 // live in the routing package; the engine calls Inject once per packet
 // at its source router and NextHop at every router on the path (the

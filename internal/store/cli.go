@@ -1,0 +1,32 @@
+package store
+
+import (
+	"fmt"
+	"os"
+
+	"diam2/internal/buildinfo"
+)
+
+// OpenCLI opens a store for a command-line tool: scan warnings go to
+// stderr prefixed with the command name, and a newly-created store
+// records the creating binary in its manifest.
+func OpenCLI(dir, cmd string) (*Store, error) {
+	return Open(dir, Options{
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, cmd+": "+format+"\n", args...)
+		},
+		CreatedBy: cmd + " " + buildinfo.Version(),
+	})
+}
+
+// Summary renders the one-line end-of-run report the CLIs print to
+// stderr.
+func (s *Store) Summary() string {
+	st := s.Stats()
+	line := fmt.Sprintf("store: %d reused, %d computed, %s live in %s",
+		st.Hits, st.Puts, FormatCount(st.Records, "record"), FormatCount(st.Segments, "segment"))
+	if st.Corrupt > 0 {
+		line += fmt.Sprintf(" (%s skipped at open)", FormatCount(st.Corrupt, "corrupt record"))
+	}
+	return line
+}

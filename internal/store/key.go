@@ -1,0 +1,98 @@
+// Package store is the content-addressed experiment result store: a
+// crash-safe, append-only archive of completed sweep points keyed by a
+// digest of their fully-resolved configuration. diam2sweep -store DIR
+// resumes an interrupted campaign by recomputing only the points whose
+// keys are missing; diam2store lists, verifies, diffs and
+// garbage-collects stores.
+//
+// On disk a store is a directory of checksummed JSONL segments plus a
+// manifest and an index, both replaced atomically via tmp+rename. Every
+// record line carries its own CRC, so a SIGKILL at any instant leaves a
+// store that reopens cleanly: a torn tail record fails its checksum and
+// is skipped (and logged), never trusted. Writers always start a fresh
+// segment, so an earlier torn tail can never corrupt later appends.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"strconv"
+)
+
+// CanonVersion identifies the key-canonicalization scheme. Bumping it
+// invalidates every stored result, so bump only when the encoding
+// below changes.
+const CanonVersion = 1
+
+// PointConfig is the fully-resolved configuration of one sweep point —
+// everything that determines its simulation output. The sweep point key
+// already encodes the per-point axes (topology, algorithm, pattern,
+// load, failure fraction); the remaining fields pin the scale and
+// engine semantics the point ran under, so a result is reused only for
+// a bit-identical rerun.
+type PointConfig struct {
+	Point        string // scheduler point key, e.g. "fig6|SF(q=5,p=4)|MIN|UNI|load=0.5000"
+	EngineSchema int    // sim.EngineSchema the result was produced under
+
+	BaseSeed    int64 // sweep base seed (per-point seeds derive from it)
+	PatternSeed int64 // resolved traffic-structure seed
+
+	Cycles     int64
+	Warmup     int64
+	MaxDrain   int64
+	A2APackets int
+	NNPackets  int
+	Paper      bool
+
+	// Fault plan (zero value: no injection).
+	FailCount      int
+	FailFrac       float64
+	FailAt         int64
+	MTBF           int64
+	MTTR           int64
+	RetxTimeout    int
+	RebuildLatency int
+}
+
+// Key returns the canonical content address of the configuration: a
+// SHA-256 over a length-prefixed field encoding. Length prefixes make
+// the encoding injective — no choice of Point string (embedded NULs,
+// field-separator look-alikes) can collide with a different
+// configuration.
+func (c PointConfig) Key() string {
+	h := sha256.New()
+	field(h, "canon", strconv.Itoa(CanonVersion))
+	field(h, "point", c.Point)
+	field(h, "engine", strconv.Itoa(c.EngineSchema))
+	field(h, "seed", strconv.FormatInt(c.BaseSeed, 10))
+	field(h, "pattern-seed", strconv.FormatInt(c.PatternSeed, 10))
+	field(h, "cycles", strconv.FormatInt(c.Cycles, 10))
+	field(h, "warmup", strconv.FormatInt(c.Warmup, 10))
+	field(h, "max-drain", strconv.FormatInt(c.MaxDrain, 10))
+	field(h, "a2a", strconv.Itoa(c.A2APackets))
+	field(h, "nn", strconv.Itoa(c.NNPackets))
+	field(h, "paper", strconv.FormatBool(c.Paper))
+	field(h, "fail-count", strconv.Itoa(c.FailCount))
+	field(h, "fail-frac", strconv.FormatFloat(c.FailFrac, 'g', -1, 64))
+	field(h, "fail-at", strconv.FormatInt(c.FailAt, 10))
+	field(h, "mtbf", strconv.FormatInt(c.MTBF, 10))
+	field(h, "mttr", strconv.FormatInt(c.MTTR, 10))
+	field(h, "retx-timeout", strconv.Itoa(c.RetxTimeout))
+	field(h, "rebuild-latency", strconv.Itoa(c.RebuildLatency))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// field writes one length-prefixed name/value pair into the digest.
+func field(h hash.Hash, name, value string) {
+	fmt.Fprintf(h, "%d:%s=%d:%s;", len(name), name, len(value), value)
+}
+
+// ShortKey abbreviates a canonical key for display.
+func ShortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

