@@ -12,7 +12,9 @@
 //
 // Topologies: sf9, sf10, mlfm, oft (paper configs), sf-small,
 // mlfm-small, oft-small, or file:PATH to load an edge-list topology
-// (see topo.ReadEdgeList). Algorithms: min, inr, a, ath. Patterns:
+// (see topo.ReadEdgeList). File topologies are named PATH#DIGEST — a
+// content digest, so -store results keyed under one file never get
+// reused after the file changes. Algorithms: min, inr, a, ath. Patterns:
 // uni, wc. Exchanges: a2a, nn (override -pattern). -saturate sweeps
 // the default load ladder through the experiment scheduler and
 // reports the highest load whose delivered throughput tracks the
@@ -38,7 +40,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -131,15 +135,22 @@ func main() {
 func findPreset(name string) (harness.Preset, error) {
 	if strings.HasPrefix(name, "file:") {
 		path := strings.TrimPrefix(name, "file:")
+		// The file is read once, up front, and a digest of its contents
+		// becomes part of the topology name. The name is what reaches
+		// every scheduler point key and thus the store's canonical keys:
+		// the path alone must not address results, because the file can
+		// change between runs against the same -store. Build parses the
+		// captured bytes, so the digested contents are exactly what runs.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return harness.Preset{}, err
+		}
+		sum := sha256.Sum256(data)
+		tagged := fmt.Sprintf("%s#%x", path, sum[:6])
 		return harness.Preset{
-			Name: path,
+			Name: tagged,
 			Build: func() (topo.Topology, error) {
-				f, err := os.Open(path)
-				if err != nil {
-					return nil, err
-				}
-				defer f.Close()
-				return topo.ReadEdgeList(f, path)
+				return topo.ReadEdgeList(bytes.NewReader(data), tagged)
 			},
 			BestAdaptive: harness.UGALConfig{NI: 4, C: 2},
 		}, nil

@@ -10,6 +10,13 @@
 //	diam2store -store DIR gc              # drop superseded and stale-engine records, compact segments
 //	diam2store -store DIR gc -dry-run     # report what gc would do
 //
+// list, verify and diff are read-only: they refuse a path that holds
+// no store (a typo must not conjure an empty store that then "verifies"
+// clean) and never modify the store they inspect. gc requires an
+// existing store too. Unrecognized flags or stray arguments after a
+// subcommand are errors, never silently ignored — "gc -dryrun" must
+// not quietly run a real gc.
+//
 // list prints one line per live record: the point key, the abbreviated
 // canonical key, the derived seed, the wall time of the producing run,
 // and the engine schema plus build it ran under.
@@ -61,16 +68,10 @@ func main() {
 	// flag.Parse stops at the first positional (the subcommand), so
 	// accept the boolean flags after it too: "gc -dry-run" must not
 	// silently run a real gc.
-	args := make([]string, 0, flag.NArg()-1)
-	for _, a := range flag.Args()[1:] {
-		switch a {
-		case "-v", "--v":
-			*verbose = true
-		case "-dry-run", "--dry-run":
-			*dryRun = true
-		default:
-			args = append(args, a)
-		}
+	args, err := tailArgs(flag.Args()[1:], verbose, dryRun)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diam2store:", err)
+		os.Exit(2)
 	}
 	if err := run(*dir, flag.Arg(0), args, *verbose, *dryRun); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2store:", err)
@@ -78,26 +79,57 @@ func main() {
 	}
 }
 
+// tailArgs sorts the tokens after the subcommand into recognized
+// boolean flags and positional arguments. Anything flag-shaped but
+// unrecognized is an error: a typo like "gc -dryrun" must abort, not
+// fall through to a real, destructive gc.
+func tailArgs(tail []string, verbose, dryRun *bool) ([]string, error) {
+	args := make([]string, 0, len(tail))
+	for _, a := range tail {
+		switch a {
+		case "-v", "--v":
+			*verbose = true
+		case "-dry-run", "--dry-run":
+			*dryRun = true
+		default:
+			if len(a) > 0 && a[0] == '-' {
+				return nil, fmt.Errorf("unknown flag %q after subcommand (know -v and -dry-run)", a)
+			}
+			args = append(args, a)
+		}
+	}
+	return args, nil
+}
+
 func run(dir, cmd string, args []string, verbose, dryRun bool) error {
+	switch cmd {
+	case "list", "verify", "gc":
+		// These take no positional arguments; a stray token is a
+		// mistake worth stopping on, not ignoring.
+		if len(args) > 0 {
+			return fmt.Errorf("%s takes no arguments (got %q)", cmd, args)
+		}
+	case "diff":
+		if len(args) != 1 {
+			return fmt.Errorf("diff wants exactly one other store directory")
+		}
+	default:
+		return fmt.Errorf("unknown subcommand %q (list|verify|diff|gc)", cmd)
+	}
 	switch cmd {
 	case "list":
 		return list(dir, verbose)
 	case "verify":
 		return verify(dir)
 	case "diff":
-		if len(args) != 1 {
-			return fmt.Errorf("diff wants exactly one other store directory")
-		}
 		return diff(dir, args[0])
-	case "gc":
-		return gc(dir, dryRun)
 	default:
-		return fmt.Errorf("unknown subcommand %q (list|verify|diff|gc)", cmd)
+		return gc(dir, dryRun)
 	}
 }
 
 func list(dir string, verbose bool) error {
-	st, err := store.OpenCLI(dir, "diam2store")
+	st, err := store.OpenCLIRead(dir, "diam2store")
 	if err != nil {
 		return err
 	}
@@ -140,12 +172,12 @@ func verify(dir string) error {
 }
 
 func diff(dirA, dirB string) error {
-	a, err := store.OpenCLI(dirA, "diam2store")
+	a, err := store.OpenCLIRead(dirA, "diam2store")
 	if err != nil {
 		return err
 	}
 	defer a.Close()
-	b, err := store.OpenCLI(dirB, "diam2store")
+	b, err := store.OpenCLIRead(dirB, "diam2store")
 	if err != nil {
 		return err
 	}
@@ -169,7 +201,7 @@ func diff(dirA, dirB string) error {
 }
 
 func gc(dir string, dryRun bool) error {
-	st, err := store.OpenCLI(dir, "diam2store")
+	st, err := store.OpenCLIExisting(dir, "diam2store")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTailArgsRecognizedFlags(t *testing.T) {
+	var verbose, dryRun bool
+	args, err := tailArgs([]string{"-v", "--dry-run", "otherdir"}, &verbose, &dryRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verbose || !dryRun {
+		t.Errorf("flags not picked up: verbose=%v dryRun=%v", verbose, dryRun)
+	}
+	if len(args) != 1 || args[0] != "otherdir" {
+		t.Errorf("positional args = %v, want [otherdir]", args)
+	}
+}
+
+// TestTailArgsRejectsUnknownFlags is the footgun the old code had: a
+// typo like "gc -dryrun" fell through as an ignored positional and the
+// gc ran for real. Any unrecognized flag-shaped token must abort.
+func TestTailArgsRejectsUnknownFlags(t *testing.T) {
+	for _, typo := range []string{"-dryrun", "--dryrun", "-n", "--verbose"} {
+		var verbose, dryRun bool
+		if _, err := tailArgs([]string{typo}, &verbose, &dryRun); err == nil {
+			t.Errorf("tailArgs accepted unknown flag %q", typo)
+		}
+		if dryRun || verbose {
+			t.Errorf("unknown flag %q set a recognized option", typo)
+		}
+	}
+}
+
+// TestRunRejectsStrayArguments: subcommands that take no positionals
+// must error on them (before touching any store), and diff must insist
+// on exactly one.
+func TestRunRejectsStrayArguments(t *testing.T) {
+	for _, cmd := range []string{"list", "verify", "gc"} {
+		err := run("/nonexistent", cmd, []string{"stray"}, false, false)
+		if err == nil || !strings.Contains(err.Error(), "takes no arguments") {
+			t.Errorf("%s with a stray argument = %v, want refusal", cmd, err)
+		}
+	}
+	if err := run("/nonexistent", "diff", nil, false, false); err == nil {
+		t.Error("diff with no argument accepted")
+	}
+	if err := run("/nonexistent", "diff", []string{"a", "b"}, false, false); err == nil {
+		t.Error("diff with two arguments accepted")
+	}
+	if err := run("/nonexistent", "nonsense", nil, false, false); err == nil || !strings.Contains(err.Error(), "unknown subcommand") {
+		t.Errorf("unknown subcommand = %v", err)
+	}
+}

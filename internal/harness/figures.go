@@ -117,7 +117,8 @@ func AdaptiveSweep(p Preset, kind AlgKind, varyNI []int, varyC []float64, fixedN
 		for _, pat := range pats {
 			for _, load := range loads {
 				points = append(points, Point[sim.Results]{
-					Key: fmt.Sprintf("adaptive|%s|%s|nI=%d|c=%g|%s|load=%.4f", p.Name, kind, v.ni, v.c, pat, load),
+					Key:  fmt.Sprintf("adaptive|%s|%s|nI=%d|c=%g|%s|load=%.4f", p.Name, kind, v.ni, v.c, pat, load),
+					UGAL: &cfg,
 					Run: func(ctx context.Context, seed int64) (sim.Results, error) {
 						return RunSynthetic(tp, kind, cfg, pat, load, scale.forPoint(ctx, seed))
 					},
@@ -205,8 +206,13 @@ func FigExchange(presets []Preset, kind ExchangeKind, scale Scale) (*Table, erro
 			return nil, err
 		}
 		for _, alg := range algs {
+			var pin *UGALConfig
+			if alg.usesUGAL() {
+				pin = &p.BestAdaptive
+			}
 			points = append(points, Point[exResult]{
-				Key: fmt.Sprintf("exchange|%s|%s|%s", label, p.Name, alg),
+				Key:  fmt.Sprintf("exchange|%s|%s|%s", label, p.Name, alg),
+				UGAL: pin,
 				Run: func(ctx context.Context, seed int64) (exResult, error) {
 					sc := scale.forPoint(ctx, seed)
 					// Each point builds its own workload instance: the

@@ -106,6 +106,11 @@ func (a AlgKind) String() string {
 	return fmt.Sprintf("AlgKind(%d)", int(a))
 }
 
+// usesUGAL reports whether the kind consumes the UGALConfig — and so
+// whether a sweep point must pin the resolved configuration in its
+// canonical store key (Point.UGAL).
+func (a AlgKind) usesUGAL() bool { return a == AlgA || a == AlgATh }
+
 // buildAlg constructs the routing algorithm and the simulator config
 // sized for its VC requirement.
 func buildAlg(t topo.Topology, kind AlgKind, ugal routing.UGALConfig, scale Scale) (sim.RoutingAlgorithm, sim.Config, error) {

@@ -125,10 +125,15 @@ func ResilienceSweep(pre Preset, kinds []AlgKind, pats []PatternKind, fracs []fl
 	}
 	var points []Point[sim.Results]
 	for _, kind := range kinds {
+		var pin *UGALConfig
+		if kind.usesUGAL() {
+			pin = &pre.BestAdaptive
+		}
 		for _, pat := range pats {
 			for _, frac := range fracs {
 				points = append(points, Point[sim.Results]{
-					Key: fmt.Sprintf("resilience|%s|%s|%s|frac=%.4f|load=%.4f", pre.Name, kind, pat, frac, load),
+					Key:  fmt.Sprintf("resilience|%s|%s|%s|frac=%.4f|load=%.4f", pre.Name, kind, pat, frac, load),
+					UGAL: pin,
 					Run: func(ctx context.Context, seed int64) (sim.Results, error) {
 						scf := sc.forPoint(ctx, seed)
 						scf.Faults = FaultPlan{FailFrac: frac, FailAt: resilienceFailAt(sc)}

@@ -278,10 +278,18 @@ func RunExchange(t topo.Topology, kind AlgKind, ugal UGALConfig, ex *traffic.Exc
 // (e.g. 0.05 = 5%), along with the full curve. The load ladder runs
 // through the experiment scheduler (scale.Sched), one point per load.
 func SaturationPoint(t topo.Topology, kind AlgKind, ugal UGALConfig, pat PatternKind, loads []float64, tol float64, scale Scale) (float64, []LoadPoint, error) {
+	// The sat key string does not carry the UGAL knobs (diam2sim -ni/-c
+	// override them without renaming anything), so adaptive points pin
+	// the resolved configuration for the store's canonical key.
+	var pin *UGALConfig
+	if kind.usesUGAL() {
+		pin = &ugal
+	}
 	points := make([]Point[sim.Results], 0, len(loads))
 	for _, load := range loads {
 		points = append(points, Point[sim.Results]{
-			Key: fmt.Sprintf("sat|%s|%s|%s|load=%.4f", t.Name(), kind, pat, load),
+			Key:  fmt.Sprintf("sat|%s|%s|%s|load=%.4f", t.Name(), kind, pat, load),
+			UGAL: pin,
 			Run: func(ctx context.Context, seed int64) (sim.Results, error) {
 				return RunSynthetic(t, kind, ugal, pat, load, scale.forPoint(ctx, seed))
 			},

@@ -45,6 +45,14 @@ import (
 type Point[T any] struct {
 	Key string
 	Run func(ctx context.Context, seed int64) (T, error)
+	// UGAL, when non-nil, is the resolved adaptive-routing
+	// configuration the point runs under, folded into the point's
+	// canonical store key. The key string names the algorithm kind but
+	// not every UGAL knob (CLIs can override nI and the cost constant
+	// without changing it), so points running a UGAL-family algorithm
+	// must pin the configuration here or risk reusing a stored result
+	// from a differently-configured run.
+	UGAL *UGALConfig
 }
 
 // Progress observes sweep progress: it is called once per completed

@@ -31,9 +31,10 @@ import (
 // in the usual label order.
 
 // pointConfig resolves the store configuration of one sweep point at
-// this scale. Everything that can change the point's output is either
-// in the point key (topology, algorithm, pattern, per-point load or
-// failure fraction) or in these fields.
+// this scale. Everything that can change the point's output is in the
+// point key (topology, algorithm, pattern, per-point load or failure
+// fraction), in these fields, or — for adaptive algorithms — in the
+// point's pinned UGAL configuration (storePoints folds Point.UGAL in).
 func (s Scale) pointConfig(pointKey string) store.PointConfig {
 	return store.PointConfig{
 		Point:        pointKey,
@@ -65,7 +66,16 @@ func storePoints[T any](sc Scale, points []Point[T]) []Point[T] {
 	lookup := !sc.Sched.Force && sc.Telemetry.Sink == nil
 	out := make([]Point[T], len(points))
 	for i, p := range points {
-		key := sc.pointConfig(p.Key).Key()
+		cfg := sc.pointConfig(p.Key)
+		if p.UGAL != nil {
+			cfg.HasUGAL = true
+			cfg.UGALNI = p.UGAL.NI
+			cfg.UGALC = p.UGAL.C
+			cfg.UGALCSF = p.UGAL.CSF
+			cfg.UGALSFCost = p.UGAL.SFCost
+			cfg.UGALThreshold = p.UGAL.Threshold
+		}
+		key := cfg.Key()
 		run := p.Run
 		pointKey := p.Key
 		out[i] = Point[T]{

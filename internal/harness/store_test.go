@@ -104,6 +104,47 @@ func TestStoreWarmResumeByteIdentity(t *testing.T) {
 	}
 }
 
+// TestStoreSatUGALKeying: diam2sim -ni/-c override the adaptive
+// configuration without changing the saturation point key strings, so
+// the canonical key must pin the resolved config — a rerun with a
+// different nI must recompute, never replay the old run's results.
+// Oblivious kinds ignore the config and are keyed without it.
+func TestStoreSatUGALKeying(t *testing.T) {
+	p := SmallPresets()[1] // MLFM: generic UGAL cost constant
+	tp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+	loads := []float64{0.3}
+	sat := func(kind AlgKind, ugal UGALConfig) {
+		t.Helper()
+		if _, _, err := SaturationPoint(tp, kind, ugal, PatUNI, loads, 0.05, storeScale(1, st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sat(AlgA, UGALConfig{NI: 1, C: 2})
+	if s := st.Stats(); s.Puts != 1 || s.Hits != 0 {
+		t.Fatalf("first adaptive ladder: %+v, want one computed point", s)
+	}
+	sat(AlgA, UGALConfig{NI: 2, C: 2}) // same point key string, different config
+	if s := st.Stats(); s.Puts != 2 || s.Hits != 0 {
+		t.Fatalf("changed nI replayed a stale result: %+v", s)
+	}
+	sat(AlgA, UGALConfig{NI: 1, C: 2}) // back to the first config: replay
+	if s := st.Stats(); s.Puts != 2 || s.Hits != 1 {
+		t.Fatalf("identical rerun did not replay: %+v", s)
+	}
+	// Oblivious routing never reads the adaptive config, so changing it
+	// must not force a recompute there.
+	sat(AlgMIN, UGALConfig{NI: 1, C: 2})
+	sat(AlgMIN, UGALConfig{NI: 8, C: 4})
+	if s := st.Stats(); s.Puts != 3 || s.Hits != 2 {
+		t.Fatalf("oblivious ladder keyed on the unused adaptive config: %+v", s)
+	}
+}
+
 // TestStoreMixedHitMissOrdering drives RunPoints with half the points
 // cached and the other half deliberately slow and racing, and checks
 // the emit order is still strictly submission order (satellite: Collect

@@ -23,8 +23,11 @@ import (
 
 // CanonVersion identifies the key-canonicalization scheme. Bumping it
 // invalidates every stored result, so bump only when the encoding
-// below changes.
-const CanonVersion = 1
+// below changes. Version 2 added the resolved adaptive-routing
+// configuration (the UGAL* fields): CLIs can override nI and the cost
+// constant without changing any point key string, so version-1 keys
+// could collide across materially different adaptive runs.
+const CanonVersion = 2
 
 // PointConfig is the fully-resolved configuration of one sweep point —
 // everything that determines its simulation output. The sweep point key
@@ -54,6 +57,19 @@ type PointConfig struct {
 	MTTR           int64
 	RetxTimeout    int
 	RebuildLatency int
+
+	// Resolved adaptive-routing configuration, set (HasUGAL) for
+	// points that run a UGAL-family algorithm. The point key string
+	// names the algorithm kind but not these knobs, and CLIs let users
+	// override them without changing the key, so they must reach the
+	// digest. HasUGAL keeps a pinned all-zero configuration distinct
+	// from an oblivious point that pins nothing.
+	HasUGAL       bool
+	UGALNI        int
+	UGALC         float64
+	UGALCSF       float64
+	UGALSFCost    bool
+	UGALThreshold float64
 }
 
 // Key returns the canonical content address of the configuration: a
@@ -81,6 +97,12 @@ func (c PointConfig) Key() string {
 	field(h, "mttr", strconv.FormatInt(c.MTTR, 10))
 	field(h, "retx-timeout", strconv.Itoa(c.RetxTimeout))
 	field(h, "rebuild-latency", strconv.Itoa(c.RebuildLatency))
+	field(h, "has-ugal", strconv.FormatBool(c.HasUGAL))
+	field(h, "ugal-ni", strconv.Itoa(c.UGALNI))
+	field(h, "ugal-c", strconv.FormatFloat(c.UGALC, 'g', -1, 64))
+	field(h, "ugal-csf", strconv.FormatFloat(c.UGALCSF, 'g', -1, 64))
+	field(h, "ugal-sfcost", strconv.FormatBool(c.UGALSFCost))
+	field(h, "ugal-threshold", strconv.FormatFloat(c.UGALThreshold, 'g', -1, 64))
 	return hex.EncodeToString(h.Sum(nil))
 }
 

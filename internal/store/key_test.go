@@ -64,6 +64,12 @@ func TestKeyDistinct(t *testing.T) {
 		"MTTR":           func(c *PointConfig) { c.MTTR = 1e4 },
 		"RetxTimeout":    func(c *PointConfig) { c.RetxTimeout = 512 },
 		"RebuildLatency": func(c *PointConfig) { c.RebuildLatency = 64 },
+		"HasUGAL":        func(c *PointConfig) { c.HasUGAL = true },
+		"UGALNI":         func(c *PointConfig) { c.HasUGAL = true; c.UGALNI = 4 },
+		"UGALC":          func(c *PointConfig) { c.HasUGAL = true; c.UGALC = 2 },
+		"UGALCSF":        func(c *PointConfig) { c.HasUGAL = true; c.UGALCSF = 1 },
+		"UGALSFCost":     func(c *PointConfig) { c.HasUGAL = true; c.UGALSFCost = true },
+		"UGALThreshold":  func(c *PointConfig) { c.HasUGAL = true; c.UGALThreshold = 0.1 },
 	}
 	seen := map[string]string{base: "base"}
 	for name, mut := range muts {

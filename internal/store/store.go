@@ -79,6 +79,16 @@ type Options struct {
 	Logf func(format string, args ...any)
 	// CreatedBy is recorded in the manifest of a newly-created store.
 	CreatedBy string
+	// ReadOnly opens for inspection: nothing on disk is created or
+	// modified — a missing directory or manifest is an error (wrapping
+	// os.ErrNotExist) instead of a freshly conjured empty store, stray
+	// temp files are left in place, Close skips the index rewrite, and
+	// Put and GC fail. Implies MustExist.
+	ReadOnly bool
+	// MustExist refuses to create a store: opening a directory with no
+	// manifest fails (wrapping os.ErrNotExist). For writable commands
+	// that maintain an existing store (gc) rather than start campaigns.
+	MustExist bool
 }
 
 type manifest struct {
@@ -105,6 +115,7 @@ type Store struct {
 	mu   sync.Mutex
 	dir  string
 	logf func(format string, args ...any)
+	ro   bool
 
 	recs    map[string]Record // key -> latest record
 	total   int
@@ -129,16 +140,19 @@ func Open(dir string, opts Options) (*Store, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
 	}
-	s := &Store{dir: dir, logf: logf, recs: make(map[string]Record)}
+	s := &Store{dir: dir, logf: logf, ro: opts.ReadOnly, recs: make(map[string]Record)}
 	if err := s.loadManifest(opts); err != nil {
 		return nil, err
 	}
 	// Stray .tmp files are leftovers of a kill mid-replace; the rename
 	// never happened, so their contents were never part of the store.
-	if strays, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(strays) > 0 {
+	// (Read-only opens leave them for the next writer to reclaim.)
+	if strays, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(strays) > 0 && !opts.ReadOnly {
 		for _, p := range strays {
 			os.Remove(p)
 		}
@@ -167,6 +181,9 @@ func (s *Store) loadManifest(opts Options) error {
 		}
 		return nil
 	case errors.Is(err, os.ErrNotExist):
+		if opts.ReadOnly || opts.MustExist {
+			return fmt.Errorf("store: %s is not a store (no %s): %w", s.dir, manifestName, os.ErrNotExist)
+		}
 		// New store (or a pre-manifest directory): refuse to adopt a
 		// directory that already has unrelated files but no manifest.
 		if segs, _ := filepath.Glob(filepath.Join(s.dir, segGlob)); len(segs) > 0 {
@@ -348,6 +365,9 @@ func (s *Store) Put(rec Record) error {
 	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(body), body)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ro {
+		return fmt.Errorf("store: %s is opened read-only", s.dir)
+	}
 	if s.active == nil || s.activeBytes+int64(len(line)) > maxSegmentBytes {
 		if err := s.rotateLocked(); err != nil {
 			return err
@@ -410,9 +430,13 @@ func (s *Store) writeIndexLocked() error {
 // Close flushes the index and releases the active segment. The store
 // remains valid on disk without Close ever running — that is the
 // crash-safety contract — but a clean Close keeps the index current.
+// A read-only store closes without touching the disk.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ro {
+		return nil // never wrote anything; nothing to flush
+	}
 	err := s.writeIndexLocked()
 	if s.active != nil {
 		if cerr := s.active.Close(); err == nil {
@@ -482,6 +506,9 @@ func (s *Store) GC(engineSchema int) (GCReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var rep GCReport
+	if s.ro {
+		return rep, fmt.Errorf("store: %s is opened read-only", s.dir)
+	}
 	rep.DroppedDupes = s.total - len(s.recs)
 	keep := make([]Record, 0, len(s.recs))
 	for _, rec := range s.recs {
@@ -615,11 +642,13 @@ type VerifyReport struct {
 	StaleEngine int // records whose engine schema differs from the expected one
 }
 
-// Verify reopens dir from scratch and reports what a fresh reader
-// would see: valid and live record counts, every corrupt line, and —
-// when engineSchema > 0 — how many records a GC would drop as stale.
+// Verify reopens dir from scratch, read-only, and reports what a fresh
+// reader would see: valid and live record counts, every corrupt line,
+// and — when engineSchema > 0 — how many records a GC would drop as
+// stale. A path that holds no store is an error, never a freshly
+// created empty store that would "verify" clean.
 func Verify(dir string, engineSchema int) (VerifyReport, error) {
-	st, err := Open(dir, Options{})
+	st, err := Open(dir, Options{ReadOnly: true})
 	if err != nil {
 		return VerifyReport{}, err
 	}

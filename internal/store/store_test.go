@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -367,6 +368,96 @@ func TestVerifyReport(t *testing.T) {
 	}
 	if rep.Records != 4 || rep.Live != 4 || len(rep.Corruptions) != 1 || rep.StaleEngine != 1 {
 		t.Fatalf("verify = %+v", rep)
+	}
+}
+
+// TestReadOnlyMissingStore: inspection opens must flag a bad path, not
+// conjure an empty store that then reports a clean bill of health.
+func TestReadOnlyMissingStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "typo", "path")
+	if _, err := Open(dir, Options{ReadOnly: true}); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("read-only Open of a missing store = %v, want os.ErrNotExist", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Error("read-only Open created the missing directory")
+	}
+	if _, err := Verify(dir, 1); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Verify of a missing store = %v, want os.ErrNotExist", err)
+	}
+	// An existing but empty directory is just as wrong: no manifest, no
+	// store.
+	empty := t.TempDir()
+	if _, err := Open(empty, Options{ReadOnly: true}); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("read-only Open of a manifest-less dir = %v, want os.ErrNotExist", err)
+	}
+	if _, err := Open(empty, Options{MustExist: true}); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("MustExist Open of a manifest-less dir = %v, want os.ErrNotExist", err)
+	}
+	if entries, err := os.ReadDir(empty); err != nil || len(entries) != 0 {
+		t.Errorf("refused opens left files behind: %v, %v", entries, err)
+	}
+}
+
+// dirSnapshot captures every file's name and content, to prove
+// read-only operations touch nothing.
+func dirSnapshot(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make(map[string]string, len(entries))
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[e.Name()] = string(b)
+	}
+	return snap
+}
+
+// TestReadOnlyDoesNotMutate: a read-only session reads records fine,
+// refuses Put and GC, leaves stray temp files alone, and its Close
+// writes nothing — the directory is bit-identical before and after.
+func TestReadOnlyDoesNotMutate(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	want := testRecord(1)
+	if err := st.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	stray := filepath.Join(dir, indexName+".tmp")
+	if err := os.WriteFile(stray, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := dirSnapshot(t, dir)
+
+	ro, err := Open(dir, Options{ReadOnly: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := ro.Get(want.Key); !ok || string(got.Payload) != string(want.Payload) {
+		t.Fatalf("read-only Get(%s) = %+v, %v", ShortKey(want.Key), got, ok)
+	}
+	if err := ro.Put(testRecord(2)); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("read-only Put = %v, want read-only refusal", err)
+	}
+	if _, err := ro.GC(1); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("read-only GC = %v, want read-only refusal", err)
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if after := dirSnapshot(t, dir); len(after) != len(before) {
+		t.Fatalf("read-only session changed the file set: %v -> %v", before, after)
+	} else {
+		for name, content := range before {
+			if after[name] != content {
+				t.Errorf("read-only session rewrote %s", name)
+			}
+		}
 	}
 }
 
