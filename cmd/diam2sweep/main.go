@@ -37,6 +37,18 @@
 // store). Inspect stores with diam2store (list, verify, diff, gc).
 // See EXPERIMENTS.md, "Resumable campaigns".
 //
+// Distributed campaigns: -campaign joins the -store directory as one
+// of several cooperating worker processes. Sweep points are claimed
+// through heartbeated lease files (a killed worker's leases expire
+// after -lease-ttl and are reclaimed), failed points retry with
+// exponential backoff and are quarantined after -retries attempts,
+// -watchdog bounds a single attempt, and SIGTERM drains the worker
+// gracefully (finish leased points, release the rest, exit code 3).
+// Workers may be killed and restarted at any time; the merged store
+// renders byte-identically to a single-process run. Observe a campaign
+// with diam2campaign or the /campaign endpoint of -http. See README,
+// "Distributed campaigns".
+//
 // Profiling: -cpuprofile/-memprofile write pprof profiles of the whole
 // sweep, and the stderr summary reports the achieved simulation rate
 // (sim-cycles and cycles/s). See README, "Profiling the engine".
@@ -51,16 +63,20 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"diam2/internal/buildinfo"
+	"diam2/internal/campaign"
 	"diam2/internal/harness"
 	"diam2/internal/sim"
 	"diam2/internal/store"
@@ -80,6 +96,13 @@ func main() {
 		force     = flag.Bool("force", false, "with -store, recompute every point (fresh results still recorded)")
 		version   = flag.Bool("version", false, "print build/version info and exit")
 
+		campaignOn = flag.Bool("campaign", false, "join -store as one of several cooperating worker processes (leases, heartbeats, retries; see README, \"Distributed campaigns\")")
+		workerID   = flag.String("worker-id", "", "campaign worker ID, unique per live worker (default: host-pid)")
+		leaseTTL   = flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "campaign lease time-to-live: a worker silent this long loses its points to the others")
+		watchdogD  = flag.Duration("watchdog", 0, "campaign per-attempt timeout: a point attempt running longer is cancelled, retried and eventually quarantined (0: off)")
+		retries    = flag.Int("retries", campaign.DefaultMaxAttempts, "campaign attempts per point (across all workers) before quarantine")
+		backoffD   = flag.Duration("backoff", campaign.DefaultBaseBackoff, "campaign base backoff after a failed attempt (doubles per attempt, jittered)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
 
@@ -98,6 +121,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *campaignOn {
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "diam2sweep: -campaign requires -store (workers coordinate through the store directory)")
+			os.Exit(2)
+		}
+		if *telemetryOn || *traceOut != "" || *heatmapOut != "" {
+			fmt.Fprintln(os.Stderr, "diam2sweep: -campaign is incompatible with telemetry collection (telemetry bypasses the store lookups campaigns depend on; run a dedicated -telemetry sweep instead)")
+			os.Exit(2)
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
@@ -110,19 +143,41 @@ func main() {
 		traceOut: *traceOut,
 		heatmap:  *heatmapOut,
 		httpAddr: *httpAddr,
+		campaign: *campaignOn,
 	}
-	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *progress, tel, *storeDir, *force)
+	camp := campaignOpts{
+		enabled:  *campaignOn,
+		workerID: *workerID,
+		leaseTTL: *leaseTTL,
+		watchdog: *watchdogD,
+		retries:  *retries,
+		backoff:  *backoffD,
+	}
+	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *progress, tel, *storeDir, *force, camp)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sweep:", err)
 		os.Exit(1)
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "diam2sweep:", runErr)
+		if errors.Is(runErr, campaign.ErrDrained) {
+			// Graceful drain is a distinct outcome: this worker did its
+			// part and stopped on request; the campaign itself goes on.
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string, jobs int, progress bool, tel telOpts, storeDir string, force bool) error {
+// campaignOpts carries the -campaign flag group.
+type campaignOpts struct {
+	enabled                     bool
+	workerID                    string
+	leaseTTL, watchdog, backoff time.Duration
+	retries                     int
+}
+
+func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string, jobs int, progress bool, tel telOpts, storeDir string, force bool, camp campaignOpts) error {
 	for _, dir := range []string{plotDir, csvDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -150,6 +205,25 @@ func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string,
 	// Wire the experiment scheduler: worker pool, cancellation, and —
 	// for the end-of-run summary — the summed simulation time of the
 	// points, accumulated from the scheduler's progress callback.
+	// Campaign progress lines append worker liveness, sampled at most
+	// once a second (each sample scans the campaign directory).
+	var worker *campaign.Worker
+	var livMu sync.Mutex
+	var livAt time.Time
+	var livLine string
+	liveness := func() string {
+		if worker == nil {
+			return ""
+		}
+		livMu.Lock()
+		defer livMu.Unlock()
+		if livLine == "" || time.Since(livAt) >= time.Second {
+			n, oldest := worker.Liveness()
+			livLine = fmt.Sprintf(" workers=%d oldest-hb=%s", n, oldest.Round(100*time.Millisecond))
+			livAt = time.Now()
+		}
+		return livLine
+	}
 	var busy atomic.Int64
 	sc.Sched = harness.Sched{
 		Workers: jobs,
@@ -157,18 +231,22 @@ func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string,
 		OnPoint: func(done, total int, key string, elapsed time.Duration) {
 			busy.Add(int64(elapsed))
 			if progress {
-				fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", done, total, key, elapsed.Round(time.Millisecond))
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)%s\n", done, total, key, elapsed.Round(time.Millisecond), liveness())
 			}
 		},
 	}
-	sink, telShutdown, err := tel.setup(&sc)
+	sink, reg, telShutdown, err := tel.setup(&sc)
 	if err != nil {
 		return err
 	}
 	defer telShutdown()
 	var st *store.Store
 	if storeDir != "" {
-		st, err = store.OpenCLI(storeDir, "diam2sweep")
+		if camp.enabled {
+			st, err = store.OpenCLICampaign(storeDir, "diam2sweep")
+		} else {
+			st, err = store.OpenCLI(storeDir, "diam2sweep")
+		}
 		if err != nil {
 			return err
 		}
@@ -180,8 +258,60 @@ func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string,
 		}()
 		sc.Sched.Store = st
 		sc.Sched.Force = force
-		if tel.enabled {
+		if sink != nil {
 			fmt.Fprintln(os.Stderr, "diam2sweep: telemetry collection recomputes every point (store lookups bypassed, results still recorded)")
+		}
+	}
+	if camp.enabled {
+		owner := camp.workerID
+		if owner == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "worker"
+			}
+			owner = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		worker, err = campaign.NewWorker(campaign.DirFor(storeDir), owner, campaign.Policy{
+			LeaseTTL:    camp.leaseTTL,
+			Watchdog:    camp.watchdog,
+			MaxAttempts: camp.retries,
+			BaseBackoff: camp.backoff,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = worker.Close() }()
+		sc.Sched.Campaign = worker
+		fmt.Fprintf(os.Stderr, "diam2sweep: campaign worker %s joined %s\n", owner, worker.Dir())
+		// Record what this campaign computes (first submitter wins; a
+		// coordinator's explicit submit may already have).
+		_ = campaign.WriteManifest(worker.Dir(), campaign.Manifest{
+			Name:      fmt.Sprintf("fig %s @ %s", fig, scaleName),
+			Args:      os.Args[1:],
+			Created:   time.Now().UTC().Format(time.RFC3339),
+			CreatedBy: "diam2sweep " + buildinfo.Version(),
+		})
+		// SIGTERM drains gracefully: leased points finish and store,
+		// unclaimed points stay for the other workers. SIGINT (Ctrl-C)
+		// keeps its hard-cancel meaning via the NotifyContext above.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			if _, ok := <-sigc; ok {
+				fmt.Fprintln(os.Stderr, "diam2sweep: SIGTERM: draining (finishing leased points, releasing the rest)")
+				worker.Drain()
+			}
+		}()
+		if reg != nil {
+			dir := worker.Dir()
+			reg.SetCampaign(func() any {
+				stat, err := campaign.Scan(dir)
+				if err != nil {
+					return map[string]string{"error": err.Error()}
+				}
+				return stat
+			})
 		}
 	}
 	workers := jobs

@@ -14,30 +14,45 @@ type telOpts struct {
 	traceOut string
 	heatmap  string
 	httpAddr string
+	// campaign disables per-point collection (campaign workers rely on
+	// store lookups, which telemetry bypasses) while still serving the
+	// -http observability endpoints, including /campaign.
+	campaign bool
 }
 
 // setup wires a telemetry sink (and, with -http, a live registry) into
-// the scale, returning the sink (nil when disabled) and an HTTP
-// teardown function.
-func (o telOpts) setup(sc *harness.Scale) (*harness.TelemetrySink, func(), error) {
+// the scale, returning the sink (nil when disabled or in campaign
+// mode), the registry (nil without -http) and an HTTP teardown
+// function.
+func (o telOpts) setup(sc *harness.Scale) (*harness.TelemetrySink, *telemetry.Registry, func(), error) {
 	if !o.enabled {
-		return nil, func() {}, nil
+		return nil, nil, func() {}, nil
 	}
-	sink := &harness.TelemetrySink{}
-	sc.Telemetry = harness.TelemetryPlan{Sink: sink}
+	var sink *harness.TelemetrySink
+	if !o.campaign {
+		sink = &harness.TelemetrySink{}
+		sc.Telemetry = harness.TelemetryPlan{Sink: sink}
+	}
 	shutdown := func() {}
+	var reg *telemetry.Registry
 	if o.httpAddr != "" {
-		reg := telemetry.NewRegistry()
+		reg = telemetry.NewRegistry()
 		reg.PublishExpvar()
-		sc.Telemetry.Registry = reg
+		if sink != nil {
+			sc.Telemetry.Registry = reg
+		}
 		addr, stop, err := reg.Serve(o.httpAddr)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		fmt.Fprintf(os.Stderr, "telemetry: live at http://%s/telemetry (pprof under /debug/pprof/)\n", addr)
+		endpoints := "/telemetry (pprof under /debug/pprof/)"
+		if o.campaign {
+			endpoints = "/campaign and /telemetry (pprof under /debug/pprof/)"
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: live at http://%s%s\n", addr, endpoints)
 		shutdown = func() { _ = stop() }
 	}
-	return sink, shutdown, nil
+	return sink, reg, shutdown, nil
 }
 
 // finish exports the sweep's accumulated telemetry: the JSONL event

@@ -1,0 +1,316 @@
+// Package campaign coordinates many worker processes running one sweep
+// against a shared content-addressed result store (internal/store). It
+// is a file-based work queue: a sweep point is claimed by creating a
+// lease file named after the point's canonical store key, kept alive by
+// refreshing the file's mtime (the heartbeat), and released by removing
+// it. A worker that is SIGKILLed or hangs simply stops heartbeating;
+// its leases age past the TTL and any other worker reclaims them.
+//
+// Correctness does not rest on the leases. The store's canonical keys
+// make re-execution byte-identical, and its append-only latest-wins
+// segments make duplicate records harmless, so the campaign is
+// exactly-once *rendered* even when two workers race through the same
+// point: leases only keep the common case from wasting work, and
+// heartbeats only bound how long a dead worker's points stay stuck.
+// Everything here is therefore advisory — a TOCTOU window in lease
+// stealing costs a duplicate computation, never a wrong result.
+//
+// On disk a campaign lives in one directory (conventionally
+// <store>/campaign, see DirFor), shared by all workers through a
+// common filesystem with coherent mtimes:
+//
+//	leases/<key>.lease     claimed points (JSON body; mtime = heartbeat)
+//	workers/<owner>.json   live workers   (JSON body; mtime = heartbeat)
+//	failed/<key>.json      attempt log of failing points (cleared on success)
+//	quarantine/<key>.json  poison points taken out of rotation
+//	manifest.json          optional campaign description (submit)
+//
+// The layered protocol a worker runs per point is in Worker.Execute:
+// consult the store, acquire or wait out the lease, run with a
+// watchdog timeout, retry with exponential backoff and jitter, and
+// quarantine the point after too many failures instead of killing the
+// campaign. Package harness wires this into its scheduler
+// (Sched.Campaign); cmd/diam2campaign observes campaigns from the
+// outside via Scan.
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+const (
+	leasesDir     = "leases"
+	workersDir    = "workers"
+	failedDir     = "failed"
+	quarantineDir = "quarantine"
+	manifestName  = "manifest.json"
+
+	leaseSuffix = ".lease"
+)
+
+// DirFor returns the conventional campaign directory inside a store
+// directory. Keeping it inside the store means the lease state travels
+// with the results it coordinates.
+func DirFor(storeDir string) string { return filepath.Join(storeDir, "campaign") }
+
+// leaseInfo is the JSON body of a lease file. The liveness signal is
+// the file's mtime, not the body; the body only attributes the lease.
+type leaseInfo struct {
+	Owner    string `json:"owner"`
+	Point    string `json:"point"`
+	PID      int    `json:"pid"`
+	Host     string `json:"host"`
+	Acquired string `json:"acquired"` // RFC3339 UTC
+}
+
+// workerInfo is the JSON body of a worker registration file; like a
+// lease, its mtime is the heartbeat.
+type workerInfo struct {
+	Owner    string `json:"owner"`
+	PID      int    `json:"pid"`
+	Host     string `json:"host"`
+	Started  string `json:"started"` // RFC3339 UTC
+	LeaseTTL string `json:"lease_ttl"`
+}
+
+// Failure is the attempt log of a failing point (failed/<key>.json
+// while it is still retryable, quarantine/<key>.json once poisoned).
+// The writer always holds the point's lease, so the file needs no
+// locking of its own.
+type Failure struct {
+	Point    string   `json:"point"`
+	Key      string   `json:"key"`
+	Attempts int      `json:"attempts"`
+	LastErr  string   `json:"last_error"`
+	Errors   []string `json:"errors,omitempty"` // most recent first, capped
+	Owner    string   `json:"owner"`            // last worker to fail it
+	Updated  string   `json:"updated"`          // RFC3339 UTC
+}
+
+// maxErrorHistory caps the per-point error log carried in a Failure.
+const maxErrorHistory = 5
+
+// Manifest describes a submitted campaign: free-form name plus the
+// command line the workers are expected to run. It exists so a
+// coordinator can answer "what is this store computing" without
+// inspecting worker processes.
+type Manifest struct {
+	Name      string   `json:"name"`
+	Args      []string `json:"args,omitempty"`
+	Created   string   `json:"created"`
+	CreatedBy string   `json:"created_by,omitempty"`
+}
+
+// WriteManifest records the campaign description, failing with
+// fs.ErrExist if one was already submitted (first writer wins; a
+// changed mind means a new store).
+func WriteManifest(dir string, m Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := fmt.Sprintf("%s.tmp%d", path, os.Getpid())
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	// Link, not rename: rename would silently clobber a concurrent
+	// submission, link makes exactly one submitter win.
+	if err := os.Link(tmp, path); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadManifest returns the submitted manifest, or nil if none exists.
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("campaign: unreadable manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// WorkerStatus is one registered worker as seen by Scan.
+type WorkerStatus struct {
+	Owner        string  `json:"owner"`
+	PID          int     `json:"pid"`
+	Host         string  `json:"host"`
+	Started      string  `json:"started"`
+	HeartbeatAge float64 `json:"heartbeat_age_s"`
+	Live         bool    `json:"live"` // heartbeat younger than its lease TTL
+}
+
+// LeaseStatus is one claimed point as seen by Scan.
+type LeaseStatus struct {
+	Point string  `json:"point"`
+	Key   string  `json:"key"`
+	Owner string  `json:"owner"`
+	Age   float64 `json:"age_s"` // since last heartbeat
+}
+
+// Status is a point-in-time scan of a campaign directory — everything
+// the coordinator endpoints serve. It is assembled purely from the
+// filesystem, so any process (a worker, diam2campaign, a test) can
+// produce one without joining the campaign.
+type Status struct {
+	Time        string         `json:"time"`
+	Dir         string         `json:"dir"`
+	Manifest    *Manifest      `json:"manifest,omitempty"`
+	Workers     []WorkerStatus `json:"workers"`
+	Leases      []LeaseStatus  `json:"leases"`
+	Failed      []Failure      `json:"failed,omitempty"`
+	Quarantined []Failure      `json:"quarantined,omitempty"`
+}
+
+// Live counts workers with a fresh heartbeat.
+func (s Status) LiveWorkers() int {
+	n := 0
+	for _, w := range s.Workers {
+		if w.Live {
+			n++
+		}
+	}
+	return n
+}
+
+// Scan reads a campaign directory and reports its workers (with
+// heartbeat ages), outstanding leases, failing points and quarantined
+// points. A directory that does not exist yet scans as an empty
+// campaign — a coordinator may be started before the first worker.
+func Scan(dir string) (Status, error) {
+	now := time.Now()
+	st := Status{Time: now.UTC().Format(time.RFC3339), Dir: dir}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return st, err
+	}
+	st.Manifest = m
+
+	workers, err := os.ReadDir(filepath.Join(dir, workersDir))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return st, err
+	}
+	for _, e := range workers {
+		path := filepath.Join(dir, workersDir, e.Name())
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue // removed between ReadDir and Stat
+		}
+		var info workerInfo
+		if b, err := os.ReadFile(path); err == nil {
+			_ = json.Unmarshal(b, &info) // a torn body degrades to blanks
+		}
+		if info.Owner == "" {
+			info.Owner = strings.TrimSuffix(e.Name(), ".json")
+		}
+		age := now.Sub(fi.ModTime())
+		ttl, _ := time.ParseDuration(info.LeaseTTL)
+		if ttl <= 0 {
+			ttl = DefaultLeaseTTL
+		}
+		st.Workers = append(st.Workers, WorkerStatus{
+			Owner:        info.Owner,
+			PID:          info.PID,
+			Host:         info.Host,
+			Started:      info.Started,
+			HeartbeatAge: age.Seconds(),
+			Live:         age <= ttl,
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Owner < st.Workers[j].Owner })
+
+	leases, err := os.ReadDir(filepath.Join(dir, leasesDir))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return st, err
+	}
+	for _, e := range leases {
+		name := e.Name()
+		if !strings.HasSuffix(name, leaseSuffix) {
+			continue // steal tombs, tmp files
+		}
+		path := filepath.Join(dir, leasesDir, name)
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		var info leaseInfo
+		if b, err := os.ReadFile(path); err == nil {
+			_ = json.Unmarshal(b, &info)
+		}
+		st.Leases = append(st.Leases, LeaseStatus{
+			Point: info.Point,
+			Key:   strings.TrimSuffix(name, leaseSuffix),
+			Owner: info.Owner,
+			Age:   now.Sub(fi.ModTime()).Seconds(),
+		})
+	}
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].Key < st.Leases[j].Key })
+
+	st.Failed, err = readFailures(filepath.Join(dir, failedDir))
+	if err != nil {
+		return st, err
+	}
+	st.Quarantined, err = readFailures(filepath.Join(dir, quarantineDir))
+	if err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+func readFailures(dir string) ([]Failure, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []Failure
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var f Failure
+		if err := json.Unmarshal(b, &f); err != nil {
+			continue // torn write of the log itself; the lease protocol retries
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
+	return out, nil
+}
+
+// writeFileAtomic replaces path via tmp+rename (same directory, unique
+// tmp name per process so shared-filesystem writers cannot interleave).
+func writeFileAtomic(path string, data []byte) error {
+	tmp := fmt.Sprintf("%s.tmp%d", path, os.Getpid())
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

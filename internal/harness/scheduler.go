@@ -3,14 +3,17 @@ package harness
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
+	"diam2/internal/campaign"
 	"diam2/internal/store"
 )
 
@@ -88,6 +91,14 @@ type Sched struct {
 	// Force bypasses store lookups — every point recomputes — while
 	// still recording the fresh results.
 	Force bool
+	// Campaign, when non-nil, runs every point under the multi-process
+	// campaign protocol (see internal/campaign): points are claimed via
+	// heartbeated lease files keyed by their canonical store keys, so
+	// any number of worker processes can share one store; failures are
+	// retried with backoff and quarantined after repeated failures
+	// instead of killing the sweep; and a drained worker hands its
+	// unclaimed points to the others. Requires Store.
+	Campaign *campaign.Worker
 }
 
 func (s Sched) context() context.Context {
@@ -145,20 +156,33 @@ type PanicError struct {
 	Stack []byte
 }
 
-// Error implements error.
+// Error implements error. The point key is not repeated here: every
+// path out of the scheduler wraps the error as "point <key>: ...", so
+// including it again would double it up.
 func (p *PanicError) Error() string {
-	return fmt.Sprintf("harness: point %s panicked: %v\n%s", p.Key, p.Value, p.Stack)
+	return fmt.Sprintf("panicked: %v\n%s", p.Value, p.Stack)
 }
 
-// runPoint executes one point with panic capture.
+// campaignSignal reports errors that are campaign verdicts rather than
+// point failures (already self-describing; the scheduler routes them
+// instead of wrapping them).
+func campaignSignal(err error) bool {
+	var q *campaign.Quarantined
+	return errors.Is(err, campaign.ErrDrained) || errors.As(err, &q)
+}
+
+// runPoint executes one point with panic capture. Any failure —
+// returned error or captured panic — comes back wrapped with the
+// point's key, so the sweep's first error always names the sweep point
+// that died, no matter how many layers of figure code re-wrap it.
 func runPoint[T any](ctx context.Context, p Point[T], seed int64) (res T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = &PanicError{Key: p.Key, Value: r, Stack: debug.Stack()}
+			err = fmt.Errorf("point %s: %w", p.Key, &PanicError{Key: p.Key, Value: r, Stack: debug.Stack()})
 		}
 	}()
 	res, err = p.Run(ctx, seed)
-	if err != nil {
+	if err != nil && !campaignSignal(err) {
 		err = fmt.Errorf("point %s: %w", p.Key, err)
 	}
 	return res, err
@@ -184,6 +208,9 @@ func RunPoints[T any](sc Scale, points []Point[T], emit func(i int, res T) error
 	n := len(points)
 	if n == 0 {
 		return ctx.Err()
+	}
+	if sc.Sched.Campaign != nil && sc.Sched.Store == nil {
+		return errors.New("harness: Sched.Campaign requires Sched.Store (leases are keyed by canonical store keys)")
 	}
 	if sc.Sched.Store != nil {
 		points = storePoints(sc, points)
@@ -238,18 +265,33 @@ func RunPoints[T any](sc Scale, points []Point[T], emit func(i int, res T) error
 	}()
 
 	// Collector: report completions as they land, emit in submission
-	// order, stop everything at the first error.
+	// order, stop everything at the first fatal error. Campaign
+	// verdicts — a quarantined poison point, a graceful drain — are
+	// deliberately NOT fatal: the sweep keeps going so every healthy
+	// point lands in the store, and the verdicts are folded into the
+	// error returned at the end (the figure still cannot render, but
+	// the campaign's work is preserved for the next worker or rerun).
 	pending := make(map[int]outcome[T], window)
 	next, done := 0, 0
 	var firstErr error
+	var quars []*campaign.Quarantined
+	drainSkipped := 0
 	for out := range results {
 		done++
 		if sc.Sched.OnPoint != nil {
 			sc.Sched.OnPoint(done, n, points[out.i].Key, out.elapsed)
 		}
 		if out.err != nil && firstErr == nil {
-			firstErr = out.err
-			cancel()
+			var q *campaign.Quarantined
+			switch {
+			case errors.As(out.err, &q):
+				quars = append(quars, q)
+			case errors.Is(out.err, campaign.ErrDrained):
+				drainSkipped++
+			default:
+				firstErr = out.err
+				cancel()
+			}
 		}
 		pending[out.i] = out
 		for {
@@ -259,9 +301,9 @@ func RunPoints[T any](sc Scale, points []Point[T], emit func(i int, res T) error
 			}
 			delete(pending, next)
 			<-sem
-			if firstErr == nil && emit != nil {
+			if firstErr == nil && o.err == nil && emit != nil {
 				if err := emit(next, o.res); err != nil {
-					firstErr = err
+					firstErr = fmt.Errorf("point %s: emit: %w", points[next].Key, err)
 					cancel()
 				}
 			}
@@ -274,8 +316,35 @@ func RunPoints[T any](sc Scale, points []Point[T], emit func(i int, res T) error
 	if firstErr != nil {
 		return firstErr
 	}
+	if err := campaignVerdict(quars, drainSkipped); err != nil {
+		return err
+	}
 	if next < n { // results closed early: workers bailed on cancellation
 		return ctx.Err()
+	}
+	return nil
+}
+
+// campaignVerdict folds a sweep's non-fatal campaign outcomes into its
+// returned error: quarantined poison points first (they mean results
+// are genuinely missing), then a graceful drain (results are merely
+// someone else's job now).
+func campaignVerdict(quars []*campaign.Quarantined, drainSkipped int) error {
+	if len(quars) > 0 {
+		names := make([]string, 0, 3)
+		for _, q := range quars[:min(len(quars), 3)] {
+			names = append(names, q.Point)
+		}
+		more := ""
+		if len(quars) > len(names) {
+			more = fmt.Sprintf(", +%d more", len(quars)-len(names))
+		}
+		return fmt.Errorf("campaign: %s quarantined after repeated failures (%s%s; see campaign/quarantine in the store for full error logs): %w",
+			store.FormatCount(len(quars), "point"), strings.Join(names, ", "), more, quars[0])
+	}
+	if drainSkipped > 0 {
+		return fmt.Errorf("campaign: %s released for other workers: %w",
+			store.FormatCount(drainSkipped, "unfinished point"), campaign.ErrDrained)
 	}
 	return nil
 }
@@ -285,6 +354,8 @@ func RunPoints[T any](sc Scale, points []Point[T], emit func(i int, res T) error
 // against.
 func runSerial[T any](ctx context.Context, sc Scale, points []Point[T], emit func(i int, res T) error) error {
 	n := len(points)
+	var quars []*campaign.Quarantined
+	drainSkipped := 0
 	for i, p := range points {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -295,15 +366,24 @@ func runSerial[T any](ctx context.Context, sc Scale, points []Point[T], emit fun
 			sc.Sched.OnPoint(i+1, n, p.Key, time.Since(start))
 		}
 		if err != nil {
-			return err
+			var q *campaign.Quarantined
+			switch {
+			case errors.As(err, &q):
+				quars = append(quars, q)
+			case errors.Is(err, campaign.ErrDrained):
+				drainSkipped++
+			default:
+				return err
+			}
+			continue
 		}
 		if emit != nil {
 			if err := emit(i, res); err != nil {
-				return err
+				return fmt.Errorf("point %s: emit: %w", p.Key, err)
 			}
 		}
 	}
-	return nil
+	return campaignVerdict(quars, drainSkipped)
 }
 
 // Collect runs the points and returns their results in submission

@@ -3,9 +3,12 @@ package harness
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"runtime/debug"
 	"time"
 
 	"diam2/internal/buildinfo"
+	"diam2/internal/campaign"
 	"diam2/internal/sim"
 	"diam2/internal/store"
 )
@@ -61,6 +64,8 @@ func (s Scale) pointConfig(pointKey string) store.PointConfig {
 // storePoints wraps a sweep's points with store consultation and
 // recording. Lookups are skipped under -force and whenever telemetry
 // is collecting (see the file comment); recording always happens.
+// With Sched.Campaign set, the wrapping additionally runs every point
+// through the multi-process lease protocol (see campaignRun).
 func storePoints[T any](sc Scale, points []Point[T]) []Point[T] {
 	st := sc.Sched.Store
 	lookup := !sc.Sched.Force && sc.Telemetry.Sink == nil
@@ -78,6 +83,10 @@ func storePoints[T any](sc Scale, points []Point[T]) []Point[T] {
 		key := cfg.Key()
 		run := p.Run
 		pointKey := p.Key
+		if sc.Sched.Campaign != nil {
+			out[i] = Point[T]{Key: p.Key, Run: campaignRun(sc, key, pointKey, run, lookup)}
+			continue
+		}
 		out[i] = Point[T]{
 			Key: p.Key,
 			Run: func(ctx context.Context, seed int64) (T, error) {
@@ -92,29 +101,103 @@ func storePoints[T any](sc Scale, points []Point[T]) []Point[T] {
 						// treat as a miss and overwrite below.
 					}
 				}
-				start := time.Now()
-				v, err := run(ctx, seed)
-				if err != nil {
-					return v, err
-				}
-				payload, err := json.Marshal(v)
-				if err != nil {
-					return v, err
-				}
-				err = st.Put(store.Record{
-					Key:          key,
-					Point:        pointKey,
-					Seed:         seed,
-					BaseSeed:     sc.Seed,
-					EngineSchema: sim.EngineSchema,
-					Engine:       buildinfo.Version(),
-					WallMS:       float64(time.Since(start)) / float64(time.Millisecond),
-					Created:      time.Now().UTC().Format(time.RFC3339),
-					Payload:      payload,
-				})
-				return v, err
+				return computeAndRecord(sc, key, pointKey, run, ctx, seed)
 			},
 		}
 	}
 	return out
+}
+
+// computeAndRecord runs the point and appends its result to the store
+// with provenance.
+func computeAndRecord[T any](sc Scale, key, pointKey string, run func(ctx context.Context, seed int64) (T, error), ctx context.Context, seed int64) (T, error) {
+	start := time.Now()
+	v, err := run(ctx, seed)
+	if err != nil {
+		return v, err
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return v, err
+	}
+	worker := ""
+	if sc.Sched.Campaign != nil {
+		worker = sc.Sched.Campaign.Owner()
+	}
+	err = sc.Sched.Store.Put(store.Record{
+		Key:          key,
+		Point:        pointKey,
+		Seed:         seed,
+		BaseSeed:     sc.Seed,
+		EngineSchema: sim.EngineSchema,
+		Engine:       buildinfo.Version(),
+		Worker:       worker,
+		WallMS:       float64(time.Since(start)) / float64(time.Millisecond),
+		Created:      time.Now().UTC().Format(time.RFC3339),
+		Payload:      payload,
+	})
+	return v, err
+}
+
+// campaignRun wraps one point for multi-process execution: the
+// worker's Execute drives the lease/heartbeat/retry protocol, Cached
+// consults the shared store (refreshing it so other processes'
+// appends count as hits), and the attempt — panic-captured so a
+// poison point is retried and quarantined instead of killing the pool
+// — computes and records the result. A cache hit is indistinguishable
+// from a computed result downstream, so the in-order emit machinery
+// renders a multi-worker campaign byte-identically to a cold
+// single-process run.
+func campaignRun[T any](sc Scale, key, pointKey string, run func(ctx context.Context, seed int64) (T, error), lookup bool) func(ctx context.Context, seed int64) (T, error) {
+	st, w := sc.Sched.Store, sc.Sched.Campaign
+	return func(ctx context.Context, seed int64) (T, error) {
+		var res T
+		have := false
+		tryDecode := func(rec store.Record) bool {
+			var v T
+			if json.Unmarshal(rec.Payload, &v) != nil {
+				return false // result type drifted; recompute below
+			}
+			res, have = v, true
+			return true
+		}
+		cached := func() bool {
+			if !lookup {
+				return false
+			}
+			if rec, ok := st.Get(key); ok && tryDecode(rec) {
+				return true
+			}
+			if st.Refresh() != nil {
+				return false
+			}
+			rec, ok := st.Get(key)
+			return ok && tryDecode(rec)
+		}
+		attempt := func(actx context.Context) (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = &PanicError{Key: pointKey, Value: r, Stack: debug.Stack()}
+				}
+			}()
+			v, err := computeAndRecord(sc, key, pointKey, run, actx, seed)
+			if err != nil {
+				return err
+			}
+			res, have = v, true
+			return nil
+		}
+		err := w.Execute(ctx, campaign.Task{Key: key, Point: pointKey, Cached: cached, Attempt: attempt})
+		if err != nil {
+			return res, err
+		}
+		if !have {
+			// Execute returned success without the attempt or a cache hit
+			// producing a value — only possible if Cached raced a store
+			// record it then failed to decode; surface it rather than
+			// emitting a zero value into a figure.
+			return res, fmt.Errorf("campaign: point %s finished without a result", pointKey)
+		}
+		return res, nil
+	}
 }

@@ -26,6 +26,17 @@ func OpenCLI(dir, cmd string) (*Store, error) {
 	})
 }
 
+// OpenCLICampaign opens (creating if necessary) a store as one of
+// several cooperating campaign workers: the advisory lock is taken
+// shared, and other workers' results become visible through Refresh.
+func OpenCLICampaign(dir, cmd string) (*Store, error) {
+	return Open(dir, Options{
+		Logf:       cliLogf(cmd),
+		CreatedBy:  cmd + " " + buildinfo.Version(),
+		SharedLock: true,
+	})
+}
+
 // OpenCLIRead opens an existing store read-only for inspection
 // commands (list, diff): a mistyped path is an error, never a freshly
 // created empty store, and nothing on disk is modified.

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// acquireLock on platforms without flock degrades to no locking: the
+// store keeps the PR-5 contract there (campaigns own their store; the
+// lease protocol still coordinates workers that opt in, and segment
+// rotation stays O_EXCL), it just cannot fail fast when two
+// uncoordinated writers collide.
+func acquireLock(path string, shared bool) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}
+
+func releaseLock(f *os.File) { f.Close() }

@@ -1,0 +1,41 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireLock takes the store's advisory flock, non-blocking: shared
+// for cooperating campaign writers (each appends only to its own
+// segment), exclusive for everything else that writes — a plain
+// single-process campaign, gc. A held conflicting lock fails the open
+// immediately with a message naming the remedy, instead of letting two
+// uncoordinated writers interleave index replaces and gc rewrites.
+func acquireLock(path string, shared bool) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	how := syscall.LOCK_EX
+	mode := "exclusively"
+	if shared {
+		how = syscall.LOCK_SH
+		mode = "shared"
+	}
+	if err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: could not lock %s %s: another process holds it (campaign workers share a store with -campaign; gc waits for the campaign to finish): %w",
+			path, mode, err)
+	}
+	return f, nil
+}
+
+// releaseLock drops the flock; closing the descriptor releases it even
+// if the explicit unlock fails.
+func releaseLock(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

@@ -23,6 +23,7 @@ const Schema = 1
 const (
 	manifestName = "MANIFEST.json"
 	indexName    = "index.json"
+	lockName     = "LOCK"
 	segFormat    = "seg-%06d.jsonl"
 	segGlob      = "seg-*.jsonl"
 
@@ -37,16 +38,17 @@ const (
 
 // Record is one stored sweep-point result with its provenance.
 type Record struct {
-	Key          string          `json:"key"`           // canonical content address (PointConfig.Key)
-	Point        string          `json:"point"`         // human-readable scheduler point key
-	Seed         int64           `json:"seed"`          // derived per-point seed the run used
-	BaseSeed     int64           `json:"base_seed"`     // sweep base seed
-	EngineSchema int             `json:"engine_schema"` // sim.EngineSchema at run time
-	StoreSchema  int             `json:"store_schema"`  // Schema at write time
-	Engine       string          `json:"engine"`        // build/version of the producing binary
-	WallMS       float64         `json:"wall_ms"`       // point wall time, milliseconds
-	Created      string          `json:"created"`       // RFC3339 UTC
-	Payload      json.RawMessage `json:"payload"`       // the point's result, JSON-encoded
+	Key          string          `json:"key"`              // canonical content address (PointConfig.Key)
+	Point        string          `json:"point"`            // human-readable scheduler point key
+	Seed         int64           `json:"seed"`             // derived per-point seed the run used
+	BaseSeed     int64           `json:"base_seed"`        // sweep base seed
+	EngineSchema int             `json:"engine_schema"`    // sim.EngineSchema at run time
+	StoreSchema  int             `json:"store_schema"`     // Schema at write time
+	Engine       string          `json:"engine"`           // build/version of the producing binary
+	Worker       string          `json:"worker,omitempty"` // campaign worker that produced it, if any
+	WallMS       float64         `json:"wall_ms"`          // point wall time, milliseconds
+	Created      string          `json:"created"`          // RFC3339 UTC
+	Payload      json.RawMessage `json:"payload"`          // the point's result, JSON-encoded
 }
 
 // Corruption describes one record that failed validation during a scan
@@ -89,6 +91,18 @@ type Options struct {
 	// manifest fails (wrapping os.ErrNotExist). For writable commands
 	// that maintain an existing store (gc) rather than start campaigns.
 	MustExist bool
+	// SharedLock opens the store as one of several cooperating writer
+	// processes (the campaign lease protocol): the advisory store lock
+	// is taken shared instead of exclusive. Each writer still appends
+	// only to its own segment (rotation is O_EXCL), other writers'
+	// appends become visible through Refresh, and index maintenance is
+	// skipped (the segment scan is the source of truth; a partial-view
+	// index would only log drift). GC is refused on a shared store.
+	//
+	// Without SharedLock a writable open takes the lock exclusively, so
+	// two plain (non-campaign) writers on one store fail fast instead
+	// of interleaving: the second Open reports the store as locked.
+	SharedLock bool
 }
 
 type manifest struct {
@@ -112,19 +126,27 @@ type indexFile struct {
 // use by the goroutines of one process; concurrent writers from
 // separate processes are not supported (campaigns own their store).
 type Store struct {
-	mu   sync.Mutex
-	dir  string
-	logf func(format string, args ...any)
-	ro   bool
+	mu     sync.Mutex
+	dir    string
+	logf   func(format string, args ...any)
+	ro     bool
+	shared bool
+	lock   *os.File // advisory flock holder; nil when read-only
 
 	recs    map[string]Record // key -> latest record
 	total   int
 	segs    []segmentInfo
 	corrupt []Corruption
 	nextSeg int
+	// offsets/lines track, per segment, the position up to which this
+	// process has consumed complete records — the resume point for
+	// Refresh, which tails other writers' segments.
+	offsets map[string]int64
+	lines   map[string]int
 
 	active      *os.File
 	activeBytes int64
+	activeName  string
 	sinceIndex  int
 
 	hits, misses, puts int64
@@ -145,14 +167,37 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	s := &Store{dir: dir, logf: logf, ro: opts.ReadOnly, recs: make(map[string]Record)}
+	s := &Store{dir: dir, logf: logf, ro: opts.ReadOnly, shared: opts.SharedLock,
+		recs: make(map[string]Record), offsets: make(map[string]int64), lines: make(map[string]int)}
+	if !opts.ReadOnly {
+		if opts.MustExist {
+			// Fail fast before the lock: a refused MustExist open must
+			// leave a non-store directory exactly as it found it (no
+			// stray LOCK file).
+			if _, err := os.Stat(filepath.Join(dir, manifestName)); errors.Is(err, os.ErrNotExist) {
+				return nil, fmt.Errorf("store: %s is not a store (no %s): %w", dir, manifestName, os.ErrNotExist)
+			}
+		}
+		// The advisory lock serializes writers that do not speak the
+		// lease protocol (exclusive) and lets campaign workers coexist
+		// (shared); gc demands exclusivity, so it cannot rewrite
+		// segments under a live campaign.
+		lock, err := acquireLock(filepath.Join(dir, lockName), opts.SharedLock)
+		if err != nil {
+			return nil, err
+		}
+		s.lock = lock
+	}
 	if err := s.loadManifest(opts); err != nil {
+		s.unlock()
 		return nil, err
 	}
 	// Stray .tmp files are leftovers of a kill mid-replace; the rename
 	// never happened, so their contents were never part of the store.
-	// (Read-only opens leave them for the next writer to reclaim.)
-	if strays, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(strays) > 0 && !opts.ReadOnly {
+	// Only an exclusive writer may clean them: a shared (campaign)
+	// writer could race another worker's in-flight replace, and
+	// read-only opens leave them for the next writer to reclaim.
+	if strays, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(strays) > 0 && !opts.ReadOnly && !opts.SharedLock {
 		for _, p := range strays {
 			os.Remove(p)
 		}
@@ -160,10 +205,19 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	idx := s.readIndex()
 	if err := s.scanSegments(); err != nil {
+		s.unlock()
 		return nil, err
 	}
 	s.crossCheckIndex(idx)
 	return s, nil
+}
+
+// unlock releases the advisory lock (idempotent).
+func (s *Store) unlock() {
+	if s.lock != nil {
+		releaseLock(s.lock)
+		s.lock = nil
+	}
 }
 
 func (s *Store) loadManifest(opts Options) error {
@@ -218,14 +272,17 @@ func (s *Store) scanSegments() error {
 	}
 	sort.Strings(names)
 	for _, path := range names {
-		info, corrs, err := s.scanSegment(path)
+		name := filepath.Base(path)
+		added, cur, corrs, err := s.scanFrom(path, segCursor{})
 		if err != nil {
 			return err
 		}
-		s.segs = append(s.segs, info)
+		s.offsets[name] = cur.off
+		s.lines[name] = cur.line
+		s.segs = append(s.segs, segmentInfo{Name: name, Records: added})
 		s.corrupt = append(s.corrupt, corrs...)
 		var n int
-		if _, err := fmt.Sscanf(info.Name, segFormat, &n); err == nil && n >= s.nextSeg {
+		if _, err := fmt.Sscanf(name, segFormat, &n); err == nil && n >= s.nextSeg {
 			s.nextSeg = n + 1
 		}
 	}
@@ -238,51 +295,127 @@ func (s *Store) scanSegments() error {
 	return nil
 }
 
-// scanSegment validates one segment line by line. Every line is framed
-// as "CRC32HEX <json>\n"; a line that fails framing, checksum or JSON
-// decoding is reported and skipped.
-func (s *Store) scanSegment(path string) (segmentInfo, []Corruption, error) {
+// segCursor marks how far into a segment this process has consumed
+// complete records: the byte offset after the last newline-terminated
+// line, and how many lines that was (for corruption reports).
+type segCursor struct {
+	off  int64
+	line int
+}
+
+// scanFrom validates one segment's records from the cursor to EOF,
+// folding valid ones into the in-memory map. Every line is framed as
+// "CRC32HEX <json>\n"; a line that fails framing, checksum or JSON
+// decoding is reported and skipped. A final line with no newline is a
+// torn tail: the cursor stops before it, so that — when the segment
+// belongs to another live writer (shared mode) — a later Refresh
+// re-reads it once the append completes. In exclusive or read-only
+// mode nobody can still be appending, so the torn tail is reported as
+// the corruption it is (the expected SIGKILL signature).
+func (s *Store) scanFrom(path string, cur segCursor) (added int, out segCursor, corrs []Corruption, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return segmentInfo{}, nil, err
+		return 0, cur, nil, err
 	}
 	defer f.Close()
-	info := segmentInfo{Name: filepath.Base(path)}
-	var corrs []Corruption
-	bad := func(line int, reason string) {
-		corrs = append(corrs, Corruption{Segment: info.Name, Line: line, Reason: reason})
+	name := filepath.Base(path)
+	out = cur
+	if out.off > 0 {
+		if _, err := f.Seek(out.off, io.SeekStart); err != nil {
+			return 0, cur, nil, err
+		}
 	}
 	r := bufio.NewReaderSize(f, 1<<20)
-	for line := 1; ; line++ {
-		raw, err := r.ReadBytes('\n')
-		if err != nil && err != io.EOF {
-			return info, corrs, err
+	for {
+		raw, rerr := r.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return added, out, corrs, rerr
 		}
 		if len(raw) > 0 {
-			switch rec, reason := parseLine(raw, err == io.EOF); {
-			case reason != "":
-				bad(line, reason)
-			default:
+			if raw[len(raw)-1] != '\n' {
+				if !s.shared {
+					corrs = append(corrs, Corruption{Segment: name, Line: out.line + 1,
+						Reason: "truncated tail record (no trailing newline)"})
+				}
+				return added, out, corrs, nil
+			}
+			out.line++
+			out.off += int64(len(raw))
+			if rec, reason := parseLine(raw); reason != "" {
+				corrs = append(corrs, Corruption{Segment: name, Line: out.line, Reason: reason})
+			} else {
 				s.recs[rec.Key] = rec
 				s.total++
-				info.Records++
+				added++
 			}
 		}
-		if err == io.EOF {
-			return info, corrs, nil
+		if rerr == io.EOF {
+			return added, out, corrs, nil
 		}
 	}
 }
 
-// parseLine validates one framed record line. atEOF marks the file's
-// final bytes, where a missing newline means a torn tail write.
-func parseLine(raw []byte, atEOF bool) (Record, string) {
-	if raw[len(raw)-1] != '\n' {
-		if atEOF {
-			return Record{}, "truncated tail record (no trailing newline)"
-		}
-		return Record{}, "unterminated record"
+// Refresh makes other processes' appends visible: it scans segments
+// that appeared since the last scan and tails known segments past the
+// consumed cursor. The store's own active segment is skipped (its
+// records are already in memory). An unterminated final line in
+// another writer's segment is left unconsumed — it is an in-flight
+// append that a later Refresh completes, or a dead writer's torn tail
+// whose record was lost in the kill and gets recomputed under the
+// lease protocol anyway.
+func (s *Store) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, err := filepath.Glob(filepath.Join(s.dir, segGlob))
+	if err != nil {
+		return err
 	}
+	sort.Strings(names)
+	for _, path := range names {
+		name := filepath.Base(path)
+		if name == s.activeName {
+			continue
+		}
+		cur := segCursor{off: s.offsets[name], line: s.lines[name]}
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue // raced a concurrent removal; a reopen reconciles
+		}
+		if _, known := s.offsets[name]; known && fi.Size() <= cur.off {
+			continue
+		}
+		added, ncur, corrs, err := s.scanFrom(path, cur)
+		if err != nil {
+			return err
+		}
+		s.offsets[name] = ncur.off
+		s.lines[name] = ncur.line
+		if i := s.segIndexOf(name); i >= 0 {
+			s.segs[i].Records += added
+		} else {
+			s.segs = append(s.segs, segmentInfo{Name: name, Records: added})
+		}
+		for _, c := range corrs {
+			s.logf("store: skipped corrupt record %s", c)
+		}
+		s.corrupt = append(s.corrupt, corrs...)
+	}
+	return nil
+}
+
+// segIndexOf locates a segment in the bookkeeping list.
+func (s *Store) segIndexOf(name string) int {
+	for i := range s.segs {
+		if s.segs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseLine validates one complete (newline-terminated) framed record
+// line.
+func parseLine(raw []byte) (Record, string) {
 	line := bytes.TrimSuffix(raw, []byte("\n"))
 	if len(line) < 10 || line[8] != ' ' {
 		return Record{}, "malformed framing (want \"CRC32HEX <json>\")"
@@ -377,11 +510,17 @@ func (s *Store) Put(rec Record) error {
 		return err
 	}
 	s.activeBytes += int64(len(line))
-	s.segs[len(s.segs)-1].Records++
+	s.offsets[s.activeName] = s.activeBytes
+	s.lines[s.activeName]++
+	s.segs[s.segIndexOf(s.activeName)].Records++
 	s.recs[rec.Key] = rec
 	s.total++
 	s.puts++
-	if s.sinceIndex++; s.sinceIndex >= indexEvery {
+	// A shared (campaign) writer skips index maintenance entirely: its
+	// view of other workers' segments is partial, so its index would
+	// only record drift for the next open to warn about. The scan is
+	// the source of truth either way.
+	if s.sinceIndex++; s.sinceIndex >= indexEvery && !s.shared {
 		if err := s.writeIndexLocked(); err != nil {
 			return err
 		}
@@ -411,6 +550,9 @@ func (s *Store) rotateLocked() error {
 		}
 		s.active = f
 		s.activeBytes = 0
+		s.activeName = name
+		s.offsets[name] = 0
+		s.lines[name] = 0
 		s.segs = append(s.segs, segmentInfo{Name: name})
 		return nil
 	}
@@ -434,15 +576,20 @@ func (s *Store) writeIndexLocked() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.unlock()
 	if s.ro {
 		return nil // never wrote anything; nothing to flush
 	}
-	err := s.writeIndexLocked()
+	var err error
+	if !s.shared { // a campaign worker's partial view must not become the index
+		err = s.writeIndexLocked()
+	}
 	if s.active != nil {
 		if cerr := s.active.Close(); err == nil {
 			err = cerr
 		}
 		s.active = nil
+		s.activeName = ""
 	}
 	return err
 }
@@ -509,6 +656,9 @@ func (s *Store) GC(engineSchema int) (GCReport, error) {
 	if s.ro {
 		return rep, fmt.Errorf("store: %s is opened read-only", s.dir)
 	}
+	if s.shared {
+		return rep, fmt.Errorf("store: gc needs exclusive access, but %s is opened shared (campaign mode)", s.dir)
+	}
 	rep.DroppedDupes = s.total - len(s.recs)
 	keep := make([]Record, 0, len(s.recs))
 	for _, rec := range s.recs {
@@ -557,6 +707,9 @@ func (s *Store) GC(engineSchema int) (GCReport, error) {
 	}
 	s.total = len(keep)
 	s.activeBytes = 0
+	s.activeName = ""
+	s.offsets = map[string]int64{name: int64(buf.Len())}
+	s.lines = map[string]int{name: len(keep)}
 	return rep, s.writeIndexLocked()
 }
 
@@ -597,9 +750,10 @@ func Diff(a, b *Store) DiffReport {
 }
 
 // replaceFile atomically replaces path with data via tmp+rename in the
-// same directory.
+// same directory. The tmp name carries the pid so shared-store writers
+// never scribble into each other's in-flight replace.
 func replaceFile(path string, data []byte) error {
-	tmp := path + ".tmp"
+	tmp := fmt.Sprintf("%s.tmp%d", path, os.Getpid())
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err

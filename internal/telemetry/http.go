@@ -23,6 +23,20 @@ type Registry struct {
 	// Aggregate counters folded in as collectors detach.
 	doneInjected, doneDelivered, doneDropped int64
 	doneLinkFlits                            int64
+	campaign                                 func() any
+}
+
+// SetCampaign installs the /campaign data source — typically a closure
+// over campaign.Scan for the store directory the process is working
+// against. Until it is set the endpoint answers 404, so a plain
+// (non-campaign) sweep exposes no misleading empty campaign.
+func (r *Registry) SetCampaign(fn func() any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.campaign = fn
+	r.mu.Unlock()
 }
 
 // NewRegistry creates an empty registry.
@@ -106,8 +120,10 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 }
 
 // Handler returns the observability mux: /telemetry (JSON registry
-// snapshot), /debug/vars (expvar) and /debug/pprof/* (runtime
-// profiles) — everything a long `diam2sweep -j N` run exposes live.
+// snapshot), /campaign (JSON campaign status, when SetCampaign has
+// installed a source), /debug/vars (expvar) and /debug/pprof/*
+// (runtime profiles) — everything a long `diam2sweep -j N` run
+// exposes live.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, req *http.Request) {
@@ -115,6 +131,21 @@ func (r *Registry) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/campaign", func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		fn := r.campaign
+		r.mu.Unlock()
+		if fn == nil {
+			http.Error(w, "no campaign attached to this process", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fn()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -129,7 +160,7 @@ func (r *Registry) Handler() http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "diam2 telemetry: /telemetry /debug/vars /debug/pprof/")
+		fmt.Fprintln(w, "diam2 telemetry: /telemetry /campaign /debug/vars /debug/pprof/")
 	})
 	return mux
 }

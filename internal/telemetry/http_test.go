@@ -133,3 +133,61 @@ func TestServe(t *testing.T) {
 		t.Errorf("shutdown: %v", err)
 	}
 }
+
+// TestCampaignEndpoint: /campaign answers 404 until SetCampaign
+// installs a source, then serves whatever the source returns as JSON.
+func TestCampaignEndpoint(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func() (int, string) {
+		resp, err := http.Get(srv.URL + "/campaign")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, _ := get(); code != http.StatusNotFound {
+		t.Fatalf("/campaign before SetCampaign: status %d, want 404", code)
+	}
+	r.SetCampaign(func() any {
+		return map[string]any{"workers": 3, "leases": []string{"a", "b"}}
+	})
+	code, body := get()
+	if code != http.StatusOK {
+		t.Fatalf("/campaign status %d", code)
+	}
+	var got struct {
+		Workers int      `json:"workers"`
+		Leases  []string `json:"leases"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/campaign not JSON: %v (%q)", err, body)
+	}
+	if got.Workers != 3 || len(got.Leases) != 2 {
+		t.Errorf("/campaign body = %+v", got)
+	}
+	// The index line advertises the endpoint.
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "/campaign") {
+		t.Errorf("index does not mention /campaign: %q", buf[:n])
+	}
+}
