@@ -21,6 +21,15 @@
 // offer within 5%; -j sets the pool size (0: all CPUs) and -progress
 // reports each completed point on stderr.
 //
+// Parallelism comes in two orthogonal flavors. -j runs independent
+// sweep *points* concurrently (embarrassingly parallel, results
+// byte-identical for any -j). -cores shards the routers of each
+// *single simulation* across that many threads of the sharded engine
+// — use it for one huge run, not for sweeps. A -cores run follows its
+// own determinism contract (identical results for a fixed partition
+// at any thread count) but is not bit-identical to a serial run, so
+// -store keys the two separately; see DESIGN.md §14.
+//
 // Fault injection: -fail-links downs a random (seeded) set of router
 // links at cycle -fail-at; -mtbf instead drives a continuous per-link
 // failure/repair process. Dropped packets are retransmitted by their
@@ -71,7 +80,8 @@ func main() {
 		c        = flag.Float64("c", 0, "override UGAL cost constant (c or cSF)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		saturate = flag.Bool("saturate", false, "sweep the load ladder for the saturation load instead of one run")
-		jobs     = flag.Int("j", 0, "worker-pool size for -saturate (0: all CPUs, 1: serial)")
+		jobs     = flag.Int("j", 0, "worker-pool size for -saturate: independent points in parallel (0: all CPUs, 1: serial); orthogonal to -cores")
+		cores    = flag.Int("cores", 1, "threads *within* each simulation (sharded engine; 1: serial engine); orthogonal to -j, not bit-identical to serial")
 		progress = flag.Bool("progress", false, "report each completed sweep point on stderr")
 		storeDir = flag.String("store", "", "content-addressed result store for -saturate ladder points (see diam2sweep -store)")
 		force    = flag.Bool("force", false, "with -store, recompute every point (fresh results still recorded)")
@@ -121,7 +131,7 @@ func main() {
 		traceOut: *traceOut,
 		httpAddr: *httpAddr,
 	}
-	runErr := run(ctx, *topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, *jobs, *progress, fp, tel, *storeDir, *force)
+	runErr := run(ctx, *topoName, *algName, *pattern, *exchange, *load, *scale, *ni, *c, *seed, *saturate, *jobs, *cores, *progress, fp, tel, *storeDir, *force)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sim:", err)
 		os.Exit(1)
@@ -199,7 +209,7 @@ func parseAlg(name string) (harness.AlgKind, error) {
 	return 0, fmt.Errorf("unknown algorithm %q", name)
 }
 
-func run(ctx context.Context, topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool, jobs int, progress bool, fp harness.FaultPlan, tel telOpts, storeDir string, force bool) error {
+func run(ctx context.Context, topoName, algName, pattern, exchange string, load float64, scaleName string, ni int, c float64, seed int64, saturate bool, jobs, cores int, progress bool, fp harness.FaultPlan, tel telOpts, storeDir string, force bool) error {
 	preset, err := findPreset(topoName)
 	if err != nil {
 		return err
@@ -219,10 +229,18 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 	}
 	sc.Seed = seed
 	sc.Faults = fp
+	sc.Cores = cores
 	sc.Sched = harness.Sched{Workers: jobs, Ctx: ctx}
 	if progress {
+		// The progress line spells out both parallelism axes so "-j 4
+		// -cores 2" is legible: points fan out across -j workers, and
+		// each point's engine is itself sharded across -cores threads.
+		engTag := ""
+		if cores > 1 {
+			engTag = fmt.Sprintf(" [engine: %d-core sharded]", cores)
+		}
 		sc.Sched.OnPoint = func(done, total int, key string, elapsed time.Duration) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", done, total, key, elapsed.Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)%s\n", done, total, key, elapsed.Round(time.Millisecond), engTag)
 		}
 	}
 	sink, telShutdown, err := tel.setup(&sc)
@@ -277,6 +295,9 @@ func run(ctx context.Context, topoName, algName, pattern, exchange string, load 
 	cost := topo.CostOf(tp)
 	fmt.Printf("topology  %s: N=%d R=%d radix=%d (%.2f ports, %.2f links per node)\n",
 		preset.Name, cost.Nodes, cost.Routers, tp.Radix(), cost.PortsPerNode, cost.LinksPerNode)
+	if cores > 1 {
+		fmt.Printf("engine    sharded: %d partitions x %d worker threads per run (serial when -cores 1)\n", cores, cores)
+	}
 
 	if exchange != "" {
 		var kind harness.ExchangeKind

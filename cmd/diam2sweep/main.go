@@ -27,6 +27,16 @@
 // -j: every point's random stream is derived from (seed, point key),
 // never from scheduling order. Ctrl-C cancels the sweep promptly.
 //
+// -cores is the other, orthogonal parallelism axis: it shards the
+// routers of every *individual simulation* across that many threads of
+// the sharded engine (-j parallelizes *across* points, -cores *within*
+// one). Figure sweeps have many points, so prefer -j and leave -cores
+// at 1; -cores pays off only for few huge points. Sharded results
+// follow their own determinism contract (identical for a fixed
+// partition at any thread count) but are not bit-identical to serial
+// results, so the store keys -cores runs separately and figures mix
+// the two engines only if you do. See DESIGN.md §14.
+//
 // Resumable campaigns: -store DIR opens (creating if needed) a
 // content-addressed result store and consults it before every sweep
 // point — an interrupted campaign rerun with the same flags recomputes
@@ -90,7 +100,8 @@ func main() {
 		plotDir   = flag.String("plotdir", "", "write SVG charts for figures with curves into this directory")
 		ascii     = flag.Bool("ascii", false, "also render ASCII charts to stdout")
 		csvDir    = flag.String("csvdir", "", "also write each figure's data as CSV into this directory")
-		jobs      = flag.Int("j", 0, "sweep worker-pool size (0: all CPUs, 1: serial)")
+		jobs      = flag.Int("j", 0, "sweep worker-pool size: independent points in parallel (0: all CPUs, 1: serial); orthogonal to -cores")
+		cores     = flag.Int("cores", 1, "threads *within* each simulation (sharded engine; 1: serial engine); orthogonal to -j, not bit-identical to serial")
 		progress  = flag.Bool("progress", false, "report each completed sweep point on stderr")
 		storeDir  = flag.String("store", "", "content-addressed result store: reuse completed points, record the rest (resumes interrupted campaigns)")
 		force     = flag.Bool("force", false, "with -store, recompute every point (fresh results still recorded)")
@@ -153,7 +164,7 @@ func main() {
 		retries:  *retries,
 		backoff:  *backoffD,
 	}
-	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *progress, tel, *storeDir, *force, camp)
+	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *cores, *progress, tel, *storeDir, *force, camp)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sweep:", err)
 		os.Exit(1)
@@ -177,7 +188,7 @@ type campaignOpts struct {
 	retries                     int
 }
 
-func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string, jobs int, progress bool, tel telOpts, storeDir string, force bool, camp campaignOpts) error {
+func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string, jobs, cores int, progress bool, tel telOpts, storeDir string, force bool, camp campaignOpts) error {
 	for _, dir := range []string{plotDir, csvDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -201,6 +212,10 @@ func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string,
 		return fmt.Errorf("unknown scale %q (quick|medium|paper)", scaleName)
 	}
 	sc.Seed = seed
+	sc.Cores = cores
+	if cores > 1 {
+		fmt.Fprintf(os.Stderr, "diam2sweep: sharded engine: %d threads per point (-cores), orthogonal to the -j point pool; results are keyed separately from serial runs\n", cores)
+	}
 
 	// Wire the experiment scheduler: worker pool, cancellation, and —
 	// for the end-of-run summary — the summed simulation time of the
@@ -225,13 +240,20 @@ func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string,
 		return livLine
 	}
 	var busy atomic.Int64
+	// The progress line carries both parallelism axes: done/total counts
+	// points flowing through the -j pool, and the engine tag marks runs
+	// whose single point is itself sharded across -cores threads.
+	engTag := ""
+	if cores > 1 {
+		engTag = fmt.Sprintf(" [engine: %d-core sharded]", cores)
+	}
 	sc.Sched = harness.Sched{
 		Workers: jobs,
 		Ctx:     ctx,
 		OnPoint: func(done, total int, key string, elapsed time.Duration) {
 			busy.Add(int64(elapsed))
 			if progress {
-				fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)%s\n", done, total, key, elapsed.Round(time.Millisecond), liveness())
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)%s%s\n", done, total, key, elapsed.Round(time.Millisecond), engTag, liveness())
 			}
 		},
 	}

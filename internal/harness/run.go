@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"diam2/internal/sim"
+	"diam2/internal/telemetry"
 	"diam2/internal/topo"
 	"diam2/internal/traffic"
 )
@@ -42,6 +43,18 @@ type Scale struct {
 	// telemetry layer (see telemetry.go); the zero value attaches
 	// nothing and leaves the engine's hot path untouched.
 	Telemetry TelemetryPlan
+	// Cores > 1 runs every engine at this scale as a sharded
+	// sim.ParallelEngine with Cores partitions and Cores workers.
+	// This is orthogonal to Sched's worker count (-j): -j fans a
+	// sweep's *points* across processes of one machine, while Cores
+	// splits the routers of a *single point* across threads. Sweeps
+	// with many points should prefer -j (embarrassingly parallel, no
+	// synchronization); Cores is for few huge points. The parallel
+	// engine keeps its own determinism contract — identical Results
+	// for a fixed partition at any worker count — but its results are
+	// not bit-identical to the serial engine's (per-shard RNG streams;
+	// see DESIGN.md §14), so the store keys carry Cores.
+	Cores int
 }
 
 // PaperScale is the Section 4.1 setup: 200 us simulated, 20 us
@@ -123,10 +136,50 @@ func (s Scale) forPoint(ctx context.Context, seed int64) Scale {
 // abort within milliseconds of Ctrl-C.
 const cancelCheckCycles = 8192
 
+// simRunner is the engine surface the harness drives, satisfied by
+// both the serial sim.Engine and the sharded sim.ParallelEngine.
+type simRunner interface {
+	Run(n int64)
+	RunUntilDrained(maxCycles int64) bool
+	Now() int64
+	Finish()
+	Results() sim.Results
+	SetFaultSchedule(fs *sim.FaultSchedule) error
+}
+
+// newRunner builds the engine one run executes on: serial for
+// Cores <= 1, the sharded parallel engine otherwise. The returned stop
+// function releases the parallel workers (a no-op for serial engines)
+// and must be called exactly once when the run is over. Telemetry
+// collectors hook the serial engine's hot path, so a scale that sets
+// both Cores > 1 and a telemetry sink is rejected here rather than
+// silently dropping events.
+func (s Scale) newRunner(net *sim.Network, alg sim.RoutingAlgorithm, w sim.Workload) (simRunner, func(), error) {
+	if s.Cores <= 1 {
+		e, err := sim.NewEngine(net, alg, w)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.Warmup = s.Warmup
+		return e, func() {}, nil
+	}
+	if s.Telemetry.Sink != nil {
+		return nil, nil, fmt.Errorf("harness: telemetry requires the serial engine; drop -cores=%d or the telemetry sink", s.Cores)
+	}
+	pe, err := sim.NewParallelEngine(net, alg, w, sim.ParallelOptions{Partitions: s.Cores, Workers: s.Cores})
+	if err != nil {
+		return nil, nil, err
+	}
+	pe.Warmup = s.Warmup
+	return pe, pe.Stop, nil
+}
+
 // runCycles advances the engine n cycles in cancellation-checked
 // chunks. Chunked stepping is bit-identical to one monolithic Run —
-// Run is a plain Step loop — so determinism is untouched.
-func runCycles(ctx context.Context, e *sim.Engine, n int64) error {
+// Run is a plain Step loop (and the parallel engine re-launches its
+// cycle loop per Run at identical barrier points) — so determinism is
+// untouched.
+func runCycles(ctx context.Context, e simRunner, n int64) error {
 	for n > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -143,7 +196,7 @@ func runCycles(ctx context.Context, e *sim.Engine, n int64) error {
 
 // runUntilDrained drains the engine with the same cancellation
 // polling; it reports whether the network drained before maxCycles.
-func runUntilDrained(ctx context.Context, e *sim.Engine, maxCycles int64) (bool, error) {
+func runUntilDrained(ctx context.Context, e simRunner, maxCycles int64) (bool, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return false, err
@@ -216,15 +269,18 @@ func RunSynthetic(t topo.Topology, kind AlgKind, ugal UGALConfig, pat PatternKin
 		return sim.Results{}, err
 	}
 	w := &traffic.OpenLoop{Pattern: pattern, Load: load, PacketFlits: cfg.PacketFlits()}
-	e, err := sim.NewEngine(net, alg, w)
+	e, stop, err := scale.newRunner(net, alg, w)
 	if err != nil {
 		return sim.Results{}, err
 	}
+	defer stop()
 	if err := scale.Faults.apply(e, t, scale); err != nil {
 		return sim.Results{}, err
 	}
-	col := scale.Telemetry.attach(e, fmt.Sprintf("%s|%s|%s|load=%.4f|seed=%d", t.Name(), kind, pat, load, scale.Seed))
-	e.Warmup = scale.Warmup
+	var col *telemetry.Collector
+	if se, ok := e.(*sim.Engine); ok {
+		col = scale.Telemetry.attach(se, fmt.Sprintf("%s|%s|%s|load=%.4f|seed=%d", t.Name(), kind, pat, load, scale.Seed))
+	}
 	if err := runCycles(scale.Sched.context(), e, scale.Cycles); err != nil {
 		scale.Telemetry.discard(col)
 		return sim.Results{}, err
@@ -248,14 +304,18 @@ func RunExchange(t topo.Topology, kind AlgKind, ugal UGALConfig, ex *traffic.Exc
 	if err != nil {
 		return sim.Results{}, 0, err
 	}
-	e, err := sim.NewEngine(net, alg, ex)
+	e, stop, err := scale.newRunner(net, alg, ex)
 	if err != nil {
 		return sim.Results{}, 0, err
 	}
+	defer stop()
 	if err := scale.Faults.apply(e, t, scale); err != nil {
 		return sim.Results{}, 0, err
 	}
-	col := scale.Telemetry.attach(e, fmt.Sprintf("%s|%s|%s|seed=%d", t.Name(), kind, ex.Name(), scale.Seed))
+	var col *telemetry.Collector
+	if se, ok := e.(*sim.Engine); ok {
+		col = scale.Telemetry.attach(se, fmt.Sprintf("%s|%s|%s|seed=%d", t.Name(), kind, ex.Name(), scale.Seed))
+	}
 	drained, err := runUntilDrained(scale.Sched.context(), e, scale.MaxDrain)
 	if err != nil {
 		scale.Telemetry.discard(col)

@@ -39,9 +39,14 @@ import (
 // fraction), in these fields, or — for adaptive algorithms — in the
 // point's pinned UGAL configuration (storePoints folds Point.UGAL in).
 func (s Scale) pointConfig(pointKey string) store.PointConfig {
+	cores := s.Cores
+	if cores <= 1 {
+		cores = 0 // 1 and unset are both the serial engine
+	}
 	return store.PointConfig{
 		Point:        pointKey,
 		EngineSchema: sim.EngineSchema,
+		EngineCores:  cores,
 		BaseSeed:     s.Seed,
 		PatternSeed:  s.patternSeed(),
 		Cycles:       s.Cycles,

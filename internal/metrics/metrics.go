@@ -28,6 +28,30 @@ func (m *Mean) Add(x float64) {
 	m.sum += x
 }
 
+// Merge folds another accumulator into this one. Merging an empty
+// accumulator is a no-op; merging into an empty one copies the other
+// exactly (bit-identical min/max/sum), so a single-shard merge
+// reproduces the source accumulator. Merge order matters for the
+// floating-point sum — callers that need deterministic results must
+// merge in a fixed order.
+func (m *Mean) Merge(o *Mean) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *o
+		return
+	}
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	m.n += o.n
+	m.sum += o.sum
+}
+
 // N returns the observation count.
 func (m *Mean) N() int64 { return m.n }
 
@@ -82,6 +106,32 @@ func (h *Histogram) Add(x float64) {
 		return
 	}
 	h.counts[b]++
+}
+
+// Clone returns an independent copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.counts = append([]int64(nil), h.counts...)
+	return &c
+}
+
+// Merge folds another histogram into this one; both must share the
+// same bucket shape (width and count). Counts and the exact-mean
+// accumulator add, so percentile queries and Mean/Max on the merged
+// histogram summarize the union of observations. As with Mean.Merge,
+// callers needing deterministic float sums must merge in a fixed order.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h.width != o.width || len(h.counts) != len(o.counts) {
+		return fmt.Errorf("metrics: merging histograms of different shape (%v/%d vs %v/%d)",
+			h.width, len(h.counts), o.width, len(o.counts))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.overflow += o.overflow
+	h.total += o.total
+	h.mean.Merge(&o.mean)
+	return nil
 }
 
 // N returns the number of observations.

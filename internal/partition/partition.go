@@ -94,12 +94,141 @@ func Bisect(g *graph.Graph, w []int, cfg Config) (*Result, error) {
 		default:
 			seed = seedRandom
 		}
-		res := bisectOnce(g, w, total, slack, cfg.Passes, rng, seed)
+		res := bisectOnce(g, w, total, total/2, slack, cfg.Passes, rng, seed)
 		if best == nil || res.Cut < best.Cut {
 			best = res
 		}
 	}
 	return best, nil
+}
+
+// KWay partitions g into k parts by recursive proportional bisection:
+// each level splits the vertex set so part counts divide as evenly as
+// the integer weights allow, reusing the same seeded FM refinement as
+// Bisect. The result maps every vertex to a part in [0, k); it is a
+// pure deterministic function of (g, w, k, cfg), which is what the
+// parallel simulation engine's fixed-partition determinism contract
+// requires. Every part is guaranteed at least one vertex, so k must
+// not exceed g.N().
+func KWay(g *graph.Graph, w []int, k int, cfg Config) ([]int, error) {
+	n := g.N()
+	if len(w) != n {
+		return nil, fmt.Errorf("partition: %d weights for %d vertices", len(w), n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("partition: empty graph")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("partition: %d parts for %d vertices", k, n)
+	}
+	for _, wi := range w {
+		if wi < 0 {
+			return nil, fmt.Errorf("partition: negative weight")
+		}
+	}
+	cfg.setDefaults()
+	part := make([]int, n)
+	verts := make([]int, n)
+	for i := range verts {
+		verts[i] = i
+	}
+	kwaySplit(g, w, verts, k, 0, cfg, part)
+	return part, nil
+}
+
+// kwaySplit assigns parts [base, base+k) to the given vertex subset,
+// recursively bisecting with a target weight proportional to the part
+// counts on each side.
+func kwaySplit(g *graph.Graph, w []int, verts []int, k, base int, cfg Config, part []int) {
+	if k == 1 {
+		for _, v := range verts {
+			part[v] = base
+		}
+		return
+	}
+	ka := k / 2
+	side := bisectSubset(g, w, verts, ka, k, cfg)
+	var va, vb []int
+	for i, v := range verts {
+		if side[i] {
+			vb = append(vb, v)
+		} else {
+			va = append(va, v)
+		}
+	}
+	// Each side must host at least one vertex per part it will be split
+	// into; rebalance deterministically (lowest vertex id first) if the
+	// weighted cut starved a side — possible with zero-weight vertices
+	// or tiny subsets.
+	for len(va) < ka {
+		va = append(va, vb[0])
+		vb = vb[1:]
+	}
+	for len(vb) < k-ka {
+		vb = append(vb, va[0])
+		va = va[1:]
+	}
+	// Derive per-level seeds so the two branches refine independently
+	// but deterministically.
+	cfgA, cfgB := cfg, cfg
+	cfgA.Seed = cfg.Seed*2 + 1
+	cfgB.Seed = cfg.Seed*2 + 2
+	kwaySplit(g, w, va, ka, base, cfgA, part)
+	kwaySplit(g, w, vb, k-ka, base+ka, cfgB, part)
+}
+
+// bisectSubset bisects the induced subgraph on verts with target
+// weight fraction num/den on side A, returning the side flags indexed
+// like verts.
+func bisectSubset(g *graph.Graph, w []int, verts []int, num, den int, cfg Config) []bool {
+	pos := make(map[int]int, len(verts))
+	for i, v := range verts {
+		pos[v] = i
+	}
+	sg := graph.New(len(verts))
+	sw := make([]int, len(verts))
+	for i, v := range verts {
+		sw[i] = w[v]
+		for _, u := range g.Neighbors(v) {
+			if j, ok := pos[u]; ok && j > i {
+				sg.MustAddEdge(i, j)
+			}
+		}
+	}
+	total, maxW := 0, 0
+	for _, wi := range sw {
+		total += wi
+		if wi > maxW {
+			maxW = wi
+		}
+	}
+	target := total * num / den
+	slack := 0
+	if total*num%den != 0 {
+		slack = 1
+	}
+	if maxW > 1 {
+		slack = maxW - 1
+	}
+	slack += int(cfg.Imbalance * float64(total))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var best *Result
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		var seed seedKind
+		switch restart % 3 {
+		case 0:
+			seed = seedBFS
+		case 1:
+			seed = seedSpectral
+		default:
+			seed = seedRandom
+		}
+		res := bisectOnce(sg, sw, total, target, slack, cfg.Passes, rng, seed)
+		if best == nil || res.Cut < best.Cut {
+			best = res
+		}
+	}
+	return best.Side
 }
 
 type seedKind int
@@ -110,16 +239,15 @@ const (
 	seedRandom
 )
 
-// bisectOnce seeds part A with the chosen strategy until it holds
-// half the weight, then refines with FM passes.
-func bisectOnce(g *graph.Graph, w []int, total, slack, passes int, rng *rand.Rand, seed seedKind) *Result {
+// bisectOnce seeds part A with the chosen strategy until it holds the
+// target weight, then refines with FM passes.
+func bisectOnce(g *graph.Graph, w []int, total, target, slack, passes int, rng *rand.Rand, seed seedKind) *Result {
 	n := g.N()
 	side := make([]bool, n) // false = A, true = B
 	for i := range side {
 		side[i] = true
 	}
 	wa := 0
-	target := total / 2
 	switch seed {
 	case seedRandom:
 		perm := rng.Perm(n)

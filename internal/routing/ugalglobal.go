@@ -38,6 +38,11 @@ func (u *UGALGlobal) Name() string { return "UGAL-G" }
 // NumVCs implements sim.RoutingAlgorithm.
 func (u *UGALGlobal) NumVCs() int { return u.numVCs() }
 
+// ReadsRemoteState marks the algorithm as unsafe for sharded engines
+// (sim.RemoteStateRouting): pathCost walks occupancy counters of
+// routers other shards own.
+func (u *UGALGlobal) ReadsRemoteState() {}
+
 // pathCost walks a minimal path from cur to tgt, greedily choosing
 // the least-occupied next hop at every router (with global state
 // access), and returns the accumulated occupancy.

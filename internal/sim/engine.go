@@ -92,6 +92,21 @@ type Engine struct {
 
 	Warmup int64 // cycle at which measurement starts
 
+	// Shard identity (see parallel.go). A serial engine is shard 0 of a
+	// one-shard world: acts is Network.acts[0], nodes covers every
+	// node, and par is nil — every parallel branch below reduces to its
+	// serial form. A ParallelEngine builds one Engine per partition
+	// with acts/nodes restricted to the owned components and par set,
+	// which routes cross-partition packets and credit events through
+	// the per-shard-pair mailboxes instead of touching state another
+	// shard owns.
+	shard  int
+	acts   *actSet
+	nodes  []*Node
+	par    *ParallelEngine
+	outPkt [][]pktMsg // [destination shard] cross-partition packet handoffs
+	outEv  [][]evMsg  // [destination shard] cross-partition credit events
+
 	now     int64
 	rng     *rand.Rand
 	ring    [][]event
@@ -161,6 +176,8 @@ func NewEngine(net *Network, alg RoutingAlgorithm, work Workload) (*Engine, erro
 		Cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		pktFlits: cfg.PacketFlits(),
+		acts:     net.acts[0],
+		nodes:    net.Nodes,
 	}
 	e.ringLen = int64(cfg.PacketFlits() + cfg.LinkLatency + cfg.SwitchLatency + 2)
 	e.ring = make([][]event, e.ringLen)
@@ -204,6 +221,12 @@ func (e *Engine) Step() {
 	e.switchStage()
 	e.injectStage()
 	e.sampleTick()
+	e.advanceCycle()
+}
+
+// advanceCycle moves the clock to the next cycle, wrapping the cached
+// ring slot.
+func (e *Engine) advanceCycle() {
 	e.now++
 	if e.slot++; e.slot == e.ringLen {
 		e.slot = 0
@@ -239,7 +262,20 @@ func (e *Engine) RunUntilDrained(maxCycles int64) bool {
 // nodes every iteration.
 func (e *Engine) drained() bool {
 	return e.Work.Done() && e.injected-e.delivered-e.droppedPkts == 0 &&
-		e.retxWaiting == 0 && e.Net.srcBusy == 0
+		e.retxWaiting == 0 && e.Net.srcBusyTotal() == 0
+}
+
+// workDone reports whether the workload has been exhausted, as seen at
+// the injection stage. Serial engines ask the workload directly; shard
+// engines read the value their ParallelEngine latched at the
+// post-events barrier — between that barrier and the inject stage no
+// shard calls NextPacket, so the latched value equals what a serial
+// engine would observe here.
+func (e *Engine) workDone() bool {
+	if e.par != nil {
+		return e.par.doneLatch
+	}
+	return e.Work.Done()
 }
 
 func (e *Engine) processEvents() {
@@ -316,7 +352,7 @@ func (e *Engine) linkStage() {
 	flits := int64(e.pktFlits)
 	linkLat := int64(e.Cfg.LinkLatency)
 	nv := e.Cfg.NumVCs
-	act := e.Net.actOut
+	act := e.acts.out
 	for id := act.nextFrom(0); id >= 0; id = act.nextFrom(id + 1) {
 		r := e.Net.Routers[id]
 		m := r.outMask
@@ -347,11 +383,22 @@ func (e *Engine) linkStage() {
 					ent := r.dequeueOut(port, vc)
 					ent.pkt.Hops++
 					next := e.Net.Routers[r.neighbor[port]]
-					next.enqueueIn(r.revPort[port], vc, entry{
+					in := entry{
 						pkt:     ent.pkt,
 						ready:   e.now + linkLat,
 						outPort: -1,
-					})
+					}
+					if next.part == e.shard {
+						next.enqueueIn(r.revPort[port], vc, in)
+					} else {
+						// Cross-partition hop: hand the entry to the owning
+						// shard's mailbox. Delivery is deferred to the
+						// inter-cycle exchange, which is safe because the
+						// entry's ready time (now+linkLat ≥ now+1) keeps it
+						// untouched this cycle even under serial semantics.
+						e.outPkt[next.part] = append(e.outPkt[next.part],
+							pktMsg{router: next.ID, port: r.revPort[port], vc: vc, ent: in})
+					}
 					e.recordLink(r.ID, next.ID, e.pktFlits)
 					if e.tel != nil {
 						e.tel.LinkTraverse(r.ID, next.ID, vc, e.pktFlits)
@@ -384,7 +431,7 @@ func (e *Engine) switchStage() {
 	swLat := int64(e.Cfg.SwitchLatency)
 	linkLat := int64(e.Cfg.LinkLatency)
 	nv := e.Cfg.NumVCs
-	act := e.Net.actIn
+	act := e.acts.in
 	for id := act.nextFrom(0); id >= 0; id = act.nextFrom(id + 1) {
 		r := e.Net.Routers[id]
 		// Rotated iteration over occupied input ports starting at the
@@ -478,7 +525,17 @@ func (e *Engine) switchAllocPort(r *Router, port, nv int, xfer, swLat, linkLat i
 			e.schedule(xfer+linkLat, event{kind: evNodeCredit, node: node, vc: vc, amount: e.pktFlits})
 		} else {
 			up := e.Net.Routers[r.neighbor[port]]
-			e.schedule(xfer+linkLat, event{kind: evCredit, router: up.ID, port: r.revPort[port], vc: vc, amount: e.pktFlits})
+			ev := event{kind: evCredit, router: up.ID, port: r.revPort[port], vc: vc, amount: e.pktFlits}
+			if up.part == e.shard {
+				e.schedule(xfer+linkLat, ev)
+			} else {
+				// Credit for an upstream router another shard owns:
+				// deferred to the inter-cycle exchange. The credit delay
+				// xfer+linkLat ≥ 2 leaves at least one cycle of slack, so
+				// scheduling it on the owner next cycle with delay-1
+				// lands on the same absolute cycle.
+				e.outEv[up.part] = append(e.outEv[up.part], evMsg{delay: xfer + linkLat, ev: ev})
+			}
 		}
 		r.rrVC[port] = (vc + 1) % nv
 		return true
@@ -497,14 +554,14 @@ func (e *Engine) switchAllocPort(r *Router, port, nv int, xfer, swLat, linkLat i
 // no-op (see the Workload contract) and only woken nodes — those
 // holding source-queue or retransmission work — are visited.
 func (e *Engine) injectStage() {
-	if e.Work.Done() {
-		act := e.Net.actNode
+	if e.workDone() {
+		act := e.acts.node
 		for id := act.nextFrom(0); id >= 0; id = act.nextFrom(id + 1) {
 			e.tryInject(e.Net.Nodes[id])
 		}
 		return
 	}
-	for _, nd := range e.Net.Nodes {
+	for _, nd := range e.nodes {
 		if nd.srcQ.len() < e.Cfg.SourceQueueCap {
 			if dst, ok := e.Work.NextPacket(nd.ID, e.now, e.rng); ok {
 				p := e.allocPacket()
@@ -561,7 +618,7 @@ func (e *Engine) tryInject(nd *Node) {
 	if retx >= 0 {
 		nd.takeRetx(retx)
 		if len(nd.retxQ) == 0 && nd.srcQ.empty() {
-			e.Net.actNode.clear(nd.ID)
+			nd.acts.node.clear(nd.ID)
 		}
 		e.retxWaiting--
 		e.retransmits++

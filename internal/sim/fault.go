@@ -391,7 +391,7 @@ func (e *Engine) dropPacket(p *Packet, router, port, vc int) {
 	nd.retxQ = append(nd.retxQ, retxEntry{pkt: p, ready: e.now + int64(e.Cfg.RetxTimeout)<<shift})
 	// The pending retransmission is injection work: wake the node so
 	// the drain-phase injectStage revisits it when the timer expires.
-	e.Net.actNode.set(nd.ID)
+	nd.acts.node.set(nd.ID)
 	e.retxWaiting++
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"diam2/internal/routing"
 	"diam2/internal/sim"
+	"diam2/internal/topo"
 	"diam2/internal/traffic"
 )
 
@@ -19,16 +20,19 @@ var updateStats = flag.Bool("update-stats", false, "rewrite the golden stats dig
 
 // TestGoldenStatsIdentity pins the engine's end-to-end statistics —
 // every Results field, bit-exact — for a spread of topology, routing,
-// workload and fault scenarios. The digests under testdata/ were
-// produced by the pre-optimization (full-scan) engine; the active-set
-// engine must reproduce them byte for byte, proving the wake-list and
-// freelist machinery is behaviour-preserving, not merely plausible.
-// Regenerate with -update-stats only for a change that intentionally
-// alters simulation semantics.
+// workload and fault scenarios covering all topology families (SSPTs,
+// HyperX, Fat-Tree) and both fault styles (one-shot link failures and
+// an MTBF/MTTR process). The digests under testdata/ were produced by
+// the pre-optimization (full-scan) engine; the active-set engine must
+// reproduce them byte for byte, proving the wake-list and freelist
+// machinery is behaviour-preserving, not merely plausible. The same
+// scenario specs drive the serial-vs-parallel differential suite
+// (parallel_test.go). Regenerate with -update-stats only for a change
+// that intentionally alters simulation semantics.
 func TestGoldenStatsIdentity(t *testing.T) {
-	got := make([]string, 0, len(goldenScenarios))
-	for _, sc := range goldenScenarios {
-		got = append(got, sc.name+" "+resultsDigest(sc.run(t)))
+	got := make([]string, 0, len(goldenSpecs))
+	for _, sc := range goldenSpecs {
+		got = append(got, sc.name+" "+resultsDigest(runGoldenSerial(t, sc)))
 	}
 	path := filepath.Join("testdata", "golden_stats.txt")
 	text := strings.Join(got, "\n") + "\n"
@@ -68,83 +72,161 @@ func resultsDigest(res sim.Results) string {
 		h(res.AvgHops), h(res.IndirectFrac), res.Faults)
 }
 
-var goldenScenarios = []struct {
-	name string
-	run  func(t *testing.T) sim.Results
-}{
-	{"mlfm-min-uni", func(t *testing.T) sim.Results {
-		tp := mustMLFM(t, 4)
-		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.35, PacketFlits: 4}
-		e := buildEngine(t, tp, routing.NewMinimal(tp), w)
-		e.Warmup = 1000
-		e.Run(8000)
-		return e.Results()
-	}},
-	{"sf-inr-uni", func(t *testing.T) sim.Results {
-		tp := mustSF(t, 5)
-		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.5, PacketFlits: 4}
-		e := buildEngine(t, tp, routing.NewValiant(tp), w)
-		e.Warmup = 1000
-		e.Run(8000)
-		return e.Results()
-	}},
-	{"oft-min-wc", func(t *testing.T) sim.Results {
-		tp := mustOFT(t, 3)
-		wc, err := traffic.WorstCase(tp, rand.New(rand.NewSource(42)))
-		if err != nil {
+// goldenParts is everything a scenario constructs fresh per run, so
+// the serial and parallel runners start from identical state.
+type goldenParts struct {
+	topo   topo.Topology
+	cfg    sim.Config
+	alg    sim.RoutingAlgorithm
+	work   sim.Workload
+	faults *sim.FaultSchedule
+}
+
+// goldenSpec is one golden scenario: a setup builder plus the run
+// shape (fixed cycle budget, or run-until-drained).
+type goldenSpec struct {
+	name     string
+	setup    func(t *testing.T) goldenParts
+	warmup   int64
+	cycles   int64 // > 0: Run(cycles); otherwise RunUntilDrained(maxDrain)
+	maxDrain int64
+}
+
+// runGoldenSerial executes a scenario on the serial engine.
+func runGoldenSerial(t *testing.T, sc goldenSpec) sim.Results {
+	t.Helper()
+	p := sc.setup(t)
+	net, err := sim.NewNetwork(p.topo, p.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(net, p.alg, p.work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if telHook != nil {
+		telHook(e)
+	}
+	if p.faults != nil {
+		if err := e.SetFaultSchedule(p.faults); err != nil {
 			t.Fatal(err)
 		}
-		w := &traffic.OpenLoop{Pattern: wc, Load: 1.0, PacketFlits: 4}
-		e := buildEngine(t, tp, routing.NewMinimal(tp), w)
-		e.Warmup = 2000
-		e.Run(10000)
-		return e.Results()
-	}},
-	{"mlfm-ugal-uni", func(t *testing.T) sim.Results {
-		tp := mustMLFM(t, 4)
-		cfg := sim.TestConfig(2)
-		alg, err := routing.NewUGAL(tp, routing.UGALConfig{NI: 4, C: 2}, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		net, err := sim.NewNetwork(tp, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.6, PacketFlits: 4}
-		e, err := sim.NewEngine(net, alg, w)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if telHook != nil {
-			telHook(e)
-		}
-		e.Warmup = 1000
-		e.Run(8000)
-		return e.Results()
-	}},
-	{"mlfm-inr-a2a", func(t *testing.T) sim.Results {
-		tp := mustMLFM(t, 3)
-		ex := traffic.AllToAll(tp.Nodes(), 2, rand.New(rand.NewSource(7)))
-		e := buildEngine(t, tp, routing.NewValiant(tp), ex)
-		if !e.RunUntilDrained(4_000_000) {
-			t.Fatal("a2a did not drain")
-		}
-		return e.Results()
-	}},
-	{"sf-min-faults", func(t *testing.T) sim.Results {
-		tp := mustSF(t, 5)
-		fs, err := sim.RandomLinkFailures(tp, 4, 1500, 9)
-		if err != nil {
-			t.Fatal(err)
-		}
-		w := &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: 0.3, PacketFlits: 4}
-		e := buildEngine(t, tp, routing.NewMinimal(tp), w)
-		if err := e.SetFaultSchedule(fs); err != nil {
-			t.Fatal(err)
-		}
-		e.Warmup = 1000
-		e.Run(12000)
-		return e.Results()
-	}},
+	}
+	e.Warmup = sc.warmup
+	if sc.cycles > 0 {
+		e.Run(sc.cycles)
+	} else if !e.RunUntilDrained(sc.maxDrain) {
+		t.Fatalf("%s: did not drain", sc.name)
+	}
+	return e.Results()
+}
+
+// openUniform builds the standard open-loop uniform workload.
+func openUniform(tp topo.Topology, load float64) sim.Workload {
+	return &traffic.OpenLoop{Pattern: traffic.Uniform{N: tp.Nodes()}, Load: load, PacketFlits: 4}
+}
+
+var goldenSpecs = []goldenSpec{
+	{
+		name: "mlfm-min-uni",
+		setup: func(t *testing.T) goldenParts {
+			tp := mustMLFM(t, 4)
+			alg := routing.NewMinimal(tp)
+			return goldenParts{topo: tp, cfg: sim.TestConfig(alg.NumVCs()), alg: alg, work: openUniform(tp, 0.35)}
+		},
+		warmup: 1000, cycles: 8000,
+	},
+	{
+		name: "sf-inr-uni",
+		setup: func(t *testing.T) goldenParts {
+			tp := mustSF(t, 5)
+			alg := routing.NewValiant(tp)
+			return goldenParts{topo: tp, cfg: sim.TestConfig(alg.NumVCs()), alg: alg, work: openUniform(tp, 0.5)}
+		},
+		warmup: 1000, cycles: 8000,
+	},
+	{
+		name: "oft-min-wc",
+		setup: func(t *testing.T) goldenParts {
+			tp := mustOFT(t, 3)
+			wc, err := traffic.WorstCase(tp, rand.New(rand.NewSource(42)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			alg := routing.NewMinimal(tp)
+			w := &traffic.OpenLoop{Pattern: wc, Load: 1.0, PacketFlits: 4}
+			return goldenParts{topo: tp, cfg: sim.TestConfig(alg.NumVCs()), alg: alg, work: w}
+		},
+		warmup: 2000, cycles: 10000,
+	},
+	{
+		name: "mlfm-ugal-uni",
+		setup: func(t *testing.T) goldenParts {
+			tp := mustMLFM(t, 4)
+			cfg := sim.TestConfig(2)
+			alg, err := routing.NewUGAL(tp, routing.UGALConfig{NI: 4, C: 2}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return goldenParts{topo: tp, cfg: cfg, alg: alg, work: openUniform(tp, 0.6)}
+		},
+		warmup: 1000, cycles: 8000,
+	},
+	{
+		name: "mlfm-inr-a2a",
+		setup: func(t *testing.T) goldenParts {
+			tp := mustMLFM(t, 3)
+			alg := routing.NewValiant(tp)
+			ex := traffic.AllToAll(tp.Nodes(), 2, rand.New(rand.NewSource(7)))
+			return goldenParts{topo: tp, cfg: sim.TestConfig(alg.NumVCs()), alg: alg, work: ex}
+		},
+		maxDrain: 4_000_000,
+	},
+	{
+		name: "sf-min-faults",
+		setup: func(t *testing.T) goldenParts {
+			tp := mustSF(t, 5)
+			fs, err := sim.RandomLinkFailures(tp, 4, 1500, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alg := routing.NewMinimal(tp)
+			return goldenParts{topo: tp, cfg: sim.TestConfig(alg.NumVCs()), alg: alg, work: openUniform(tp, 0.3), faults: fs}
+		},
+		warmup: 1000, cycles: 12000,
+	},
+	{
+		name: "hx-min-uni",
+		setup: func(t *testing.T) goldenParts {
+			tp, err := topo.NewHyperX2D(4, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alg := routing.NewMinimal(tp)
+			return goldenParts{topo: tp, cfg: sim.TestConfig(alg.NumVCs()), alg: alg, work: openUniform(tp, 0.4)}
+		},
+		warmup: 1000, cycles: 8000,
+	},
+	{
+		name: "ft-min-uni",
+		setup: func(t *testing.T) goldenParts {
+			tp, err := topo.NewFatTree2(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alg := routing.NewMinimal(tp)
+			return goldenParts{topo: tp, cfg: sim.TestConfig(alg.NumVCs()), alg: alg, work: openUniform(tp, 0.4)}
+		},
+		warmup: 1000, cycles: 8000,
+	},
+	{
+		name: "mlfm-min-mtbf",
+		setup: func(t *testing.T) goldenParts {
+			tp := mustMLFM(t, 4)
+			fs := sim.NewRandomFaultSchedule(tp, 2000, 800, 8000, 11)
+			alg := routing.NewMinimal(tp)
+			return goldenParts{topo: tp, cfg: sim.TestConfig(alg.NumVCs()), alg: alg, work: openUniform(tp, 0.25), faults: fs}
+		},
+		warmup: 1000, cycles: 12000,
+	},
 }

@@ -2,6 +2,20 @@ package sim
 
 import "fmt"
 
+// engineCounts is the set of conservation counters an invariant check
+// needs. A serial engine supplies its own; a ParallelEngine sums them
+// across shards (per-shard values of in-network packets can be
+// transiently negative when a packet injected on one shard is
+// delivered on another, but the sums obey the same laws).
+type engineCounts struct {
+	generated   int64
+	injected    int64
+	retransmits int64
+	delivered   int64
+	droppedPkts int64
+	retxWaiting int64
+}
+
 // CheckInvariants validates the engine's conservation laws at the
 // current cycle; it is the simulator's self-test, used by the test
 // suite after (and during) runs. It verifies:
@@ -14,45 +28,61 @@ import "fmt"
 //   - occupancy sanity: all occupancy and credit counters are
 //     non-negative and within capacity;
 //   - active-set consistency: the wake bitsets, per-port packet
-//     counters and the srcBusy counter agree with an exhaustive scan
-//     of the queues they summarize (the wake-list invariant of
-//     DESIGN.md §10).
+//     counters and the per-shard srcBusy counters agree with an
+//     exhaustive scan of the queues they summarize (the wake-list
+//     invariant of DESIGN.md §10).
 func (e *Engine) CheckInvariants() error {
+	return checkInvariants(e.Net, e.Cfg, engineCounts{
+		generated:   e.generated,
+		injected:    e.injected,
+		retransmits: e.retransmits,
+		delivered:   e.delivered,
+		droppedPkts: e.droppedPkts,
+		retxWaiting: e.retxWaiting,
+	})
+}
+
+// checkInvariants runs the full invariant sweep over a network given
+// whole-simulation conservation counters (see CheckInvariants).
+func checkInvariants(net *Network, cfg Config, c engineCounts) error {
 	// Packet conservation. Injections count events, so retransmissions
 	// of fault-dropped packets re-count: first-time injections are
 	// injected - retransmits.
 	var queued, retxQueued int64
-	srcBusy := 0
-	for _, nd := range e.Net.Nodes {
+	srcBusy := make([]int, len(net.acts))
+	for _, nd := range net.Nodes {
 		queued += int64(nd.srcQ.len())
 		retxQueued += int64(len(nd.retxQ))
 		if !nd.srcQ.empty() {
-			srcBusy++
+			srcBusy[nd.part]++
 		}
-		if wantActive := !nd.srcQ.empty() || len(nd.retxQ) > 0; e.Net.actNode.get(nd.ID) != wantActive {
+		if wantActive := !nd.srcQ.empty() || len(nd.retxQ) > 0; nd.acts.node.get(nd.ID) != wantActive {
 			return fmt.Errorf("sim: node %d active bit %v, want %v", nd.ID, !wantActive, wantActive)
 		}
 	}
-	if srcBusy != e.Net.srcBusy {
-		return fmt.Errorf("sim: %d nodes have nonempty source queues, srcBusy says %d", srcBusy, e.Net.srcBusy)
+	for p, a := range net.acts {
+		if srcBusy[p] != a.srcBusy {
+			return fmt.Errorf("sim: shard %d has %d nodes with nonempty source queues, srcBusy says %d",
+				p, srcBusy[p], a.srcBusy)
+		}
 	}
-	if e.generated != e.injected-e.retransmits+queued {
+	if c.generated != c.injected-c.retransmits+queued {
 		return fmt.Errorf("sim: generated %d != injected %d - retransmits %d + source-queued %d",
-			e.generated, e.injected, e.retransmits, queued)
+			c.generated, c.injected, c.retransmits, queued)
 	}
-	if e.delivered > e.injected {
-		return fmt.Errorf("sim: delivered %d > injected %d", e.delivered, e.injected)
+	if c.delivered > c.injected {
+		return fmt.Errorf("sim: delivered %d > injected %d", c.delivered, c.injected)
 	}
-	if inNet := e.injected - e.delivered - e.droppedPkts; inNet < 0 {
+	if inNet := c.injected - c.delivered - c.droppedPkts; inNet < 0 {
 		return fmt.Errorf("sim: negative in-network count %d (injected %d, delivered %d, dropped %d)",
-			inNet, e.injected, e.delivered, e.droppedPkts)
+			inNet, c.injected, c.delivered, c.droppedPkts)
 	}
-	if retxQueued != e.retxWaiting {
-		return fmt.Errorf("sim: retransmission queues hold %d packets, counter says %d", retxQueued, e.retxWaiting)
+	if retxQueued != c.retxWaiting {
+		return fmt.Errorf("sim: retransmission queues hold %d packets, counter says %d", retxQueued, c.retxWaiting)
 	}
 
 	// Counter sanity.
-	for _, r := range e.Net.Routers {
+	for _, r := range net.Routers {
 		inCount, outCount := 0, 0
 		for i := range r.inQ {
 			inCount += r.inQ[i].len()
@@ -64,13 +94,13 @@ func (e *Engine) CheckInvariants() error {
 			return fmt.Errorf("sim: router %d queue counters (%d,%d) != actual (%d,%d)",
 				r.ID, r.inCount, r.outCount, inCount, outCount)
 		}
-		if e.Net.actIn.get(r.ID) != (inCount > 0) || e.Net.actOut.get(r.ID) != (outCount > 0) {
+		if r.acts.in.get(r.ID) != (inCount > 0) || r.acts.out.get(r.ID) != (outCount > 0) {
 			return fmt.Errorf("sim: router %d active bits (in=%v,out=%v) disagree with queue counts (%d,%d)",
-				r.ID, e.Net.actIn.get(r.ID), e.Net.actOut.get(r.ID), inCount, outCount)
+				r.ID, r.acts.in.get(r.ID), r.acts.out.get(r.ID), inCount, outCount)
 		}
 		for port := 0; port < r.nPorts; port++ {
 			inPkts, outPkts := 0, 0
-			for vc := 0; vc < e.Cfg.NumVCs; vc++ {
+			for vc := 0; vc < cfg.NumVCs; vc++ {
 				inPkts += r.inQ[r.idx(port, vc)].len()
 				outPkts += r.outQ[r.idx(port, vc)].len()
 			}
@@ -82,21 +112,21 @@ func (e *Engine) CheckInvariants() error {
 				return fmt.Errorf("sim: router %d port %d mask bits (in=%v,out=%v) disagree with packet counts (%d,%d)",
 					r.ID, port, r.inMask.get(port), r.outMask.get(port), inPkts, outPkts)
 			}
-			for vc := 0; vc < e.Cfg.NumVCs; vc++ {
+			for vc := 0; vc < cfg.NumVCs; vc++ {
 				i := r.idx(port, vc)
 				if r.outOcc[i] < 0 {
 					return fmt.Errorf("sim: router %d port %d vc %d outOcc %d < 0", r.ID, port, vc, r.outOcc[i])
 				}
-				if r.outOcc[i] > e.Cfg.OutputBufFlits {
+				if r.outOcc[i] > cfg.OutputBufFlits {
 					return fmt.Errorf("sim: router %d port %d vc %d outOcc %d > capacity %d",
-						r.ID, port, vc, r.outOcc[i], e.Cfg.OutputBufFlits)
+						r.ID, port, vc, r.outOcc[i], cfg.OutputBufFlits)
 				}
 				if r.credits[i] < 0 {
 					return fmt.Errorf("sim: router %d port %d vc %d credits %d < 0", r.ID, port, vc, r.credits[i])
 				}
-				if !r.isTerminal(port) && r.credits[i] > e.Cfg.InputBufFlits {
+				if !r.isTerminal(port) && r.credits[i] > cfg.InputBufFlits {
 					return fmt.Errorf("sim: router %d port %d vc %d credits %d > capacity %d",
-						r.ID, port, vc, r.credits[i], e.Cfg.InputBufFlits)
+						r.ID, port, vc, r.credits[i], cfg.InputBufFlits)
 				}
 			}
 			if r.pendingOut[port] < 0 {
@@ -104,10 +134,10 @@ func (e *Engine) CheckInvariants() error {
 			}
 		}
 	}
-	for _, nd := range e.Net.Nodes {
+	for _, nd := range net.Nodes {
 		for vc, c := range nd.credits {
-			if c < 0 || c > e.Cfg.InputBufFlits {
-				return fmt.Errorf("sim: node %d vc %d credits %d out of [0,%d]", nd.ID, vc, c, e.Cfg.InputBufFlits)
+			if c < 0 || c > cfg.InputBufFlits {
+				return fmt.Errorf("sim: node %d vc %d credits %d out of [0,%d]", nd.ID, vc, c, cfg.InputBufFlits)
 			}
 		}
 	}

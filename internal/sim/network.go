@@ -53,6 +53,16 @@ type Router struct {
 	// Nil unless a fault schedule is attached (see fault.go).
 	portDown []bool
 
+	// acts points at the active-set group of the engine shard that owns
+	// this router; part is that shard's index. Serial engines own every
+	// router through the single group in Network.acts, so part is 0 and
+	// all routers share one pointer. The parallel engine reassigns both
+	// (see parallel.go) so each shard's queue mutations touch only its
+	// own bitset words — sharing words across shards would be a data
+	// race.
+	acts *actSet
+	part int
+
 	// pendingOut[port] counts flits sitting in this router's input
 	// buffers whose (cached) route decision targets the port — the
 	// virtual-output-queue load. Together with the output buffer
@@ -73,15 +83,15 @@ type Network struct {
 
 	nodeRouterPort []int // node -> terminal port index at its router
 
-	// Active sets (see activeset.go): bit r of actIn is set iff router
-	// r holds input-buffered packets (inCount > 0), actOut likewise for
-	// output buffers, and bit n of actNode iff node n holds source-queue
-	// or retransmission work. srcBusy counts nodes with a nonempty
-	// source queue, making the engine's drained() check O(1).
-	actIn   bitset
-	actOut  bitset
-	actNode bitset
-	srcBusy int
+	// Active sets (see activeset.go), grouped per engine shard: one
+	// actSet per partition of the router set, each holding the wake
+	// bitsets and srcBusy counter for the routers and nodes that shard
+	// owns. A serial engine has exactly one group covering everything,
+	// so the wake-list behaviour (and the golden digests pinning it) is
+	// unchanged; the parallel engine re-partitions into one group per
+	// shard (see parallel.go). Components reach their group through
+	// Router.acts / Node.acts without consulting this slice.
+	acts []*actSet
 
 	// tel mirrors Engine.tel so the queue-mutation wrappers can report
 	// per-VC occupancy without a pointer chase through the engine. Nil
@@ -100,6 +110,11 @@ type Node struct {
 	retxQ    []retxEntry
 	linkFree int64
 	credits  []int // per VC: free space in the router's terminal input buffer
+
+	// acts/part mirror Router.acts/part: the active-set group of the
+	// engine shard owning this node (always its router's shard).
+	acts *actSet
+	part int
 }
 
 // NewNetwork builds the simulator state for a topology.
@@ -162,17 +177,82 @@ func NewNetwork(t topo.Topology, cfg Config) (*Network, error) {
 			rt.revPort[p] = back
 		}
 	}
-	n.actIn = newBitset(g.N())
-	n.actOut = newBitset(g.N())
-	n.actNode = newBitset(t.Nodes())
+	n.acts = []*actSet{newActSet(g.N(), t.Nodes())}
+	for _, rt := range n.Routers {
+		rt.acts = n.acts[0]
+	}
 	for id := 0; id < t.Nodes(); id++ {
-		nd := &Node{ID: id, Router: t.NodeRouter(id), credits: make([]int, cfg.NumVCs)}
+		nd := &Node{ID: id, Router: t.NodeRouter(id), credits: make([]int, cfg.NumVCs), acts: n.acts[0]}
 		for v := range nd.credits {
 			nd.credits[v] = cfg.InputBufFlits
 		}
 		n.Nodes[id] = nd
 	}
 	return n, nil
+}
+
+// actSet groups the wake state one engine shard owns: bit r of in is
+// set iff router r (owned by this shard) holds input-buffered packets,
+// out likewise for output buffers, bit n of node iff node n holds
+// source-queue or retransmission work, and srcBusy counts owned nodes
+// with nonempty source queues (the O(1) drained() check). The bitsets
+// span the whole network — only the owned components' bits are ever
+// set, and wasting a few idle words per shard keeps component IDs
+// global.
+type actSet struct {
+	in      bitset
+	out     bitset
+	node    bitset
+	srcBusy int
+}
+
+func newActSet(routers, nodes int) *actSet {
+	return &actSet{in: newBitset(routers), out: newBitset(routers), node: newBitset(nodes)}
+}
+
+// partitionShards regroups the network's active sets into one group
+// per shard, with part[r] naming router r's shard; nodes follow their
+// router. It must be called before any traffic enters the network (the
+// bitsets start empty and are not migrated). Only the parallel engine
+// calls this; serial engines keep the single group NewNetwork built.
+func (n *Network) partitionShards(part []int, shards int) error {
+	if len(part) != len(n.Routers) {
+		return fmt.Errorf("sim: partition maps %d routers, network has %d", len(part), len(n.Routers))
+	}
+	acts := make([]*actSet, shards)
+	for s := range acts {
+		acts[s] = newActSet(len(n.Routers), len(n.Nodes))
+	}
+	seen := make([]bool, shards)
+	for r, p := range part {
+		if p < 0 || p >= shards {
+			return fmt.Errorf("sim: router %d assigned to shard %d of %d", r, p, shards)
+		}
+		n.Routers[r].acts = acts[p]
+		n.Routers[r].part = p
+		seen[p] = true
+	}
+	for s, ok := range seen {
+		if !ok {
+			return fmt.Errorf("sim: shard %d owns no routers", s)
+		}
+	}
+	for _, nd := range n.Nodes {
+		nd.acts = n.Routers[nd.Router].acts
+		nd.part = n.Routers[nd.Router].part
+	}
+	n.acts = acts
+	return nil
+}
+
+// srcBusyTotal sums the busy-source counters across shards (a serial
+// network has one).
+func (n *Network) srcBusyTotal() int {
+	total := 0
+	for _, a := range n.acts {
+		total += a.srcBusy
+	}
+	return total
 }
 
 // Network returns the network this router belongs to (used by
@@ -260,7 +340,7 @@ func (r *Router) enqueueIn(port, vc int, ent entry) {
 	r.inCount++
 	r.inPortPkts[port]++
 	r.inMask.set(port)
-	r.net.actIn.set(r.ID)
+	r.acts.in.set(r.ID)
 	if r.net.tel != nil {
 		r.net.tel.VCEnqueue(r.ID, vc)
 	}
@@ -275,7 +355,7 @@ func (r *Router) takeIn(port, vc, i int) entry {
 		r.inMask.clear(port)
 	}
 	if r.inCount == 0 {
-		r.net.actIn.clear(r.ID)
+		r.acts.in.clear(r.ID)
 	}
 	if r.net.tel != nil {
 		r.net.tel.VCDequeue(r.ID, vc)
@@ -290,7 +370,7 @@ func (r *Router) enqueueOut(port, vc int, ent entry) {
 	r.outCount++
 	r.outPortPkts[port]++
 	r.outMask.set(port)
-	r.net.actOut.set(r.ID)
+	r.acts.out.set(r.ID)
 }
 
 // dequeueOut pops the head packet of an output (port, vc) queue,
@@ -302,7 +382,7 @@ func (r *Router) dequeueOut(port, vc int) entry {
 		r.outMask.clear(port)
 	}
 	if r.outCount == 0 {
-		r.net.actOut.clear(r.ID)
+		r.acts.out.clear(r.ID)
 	}
 	return ent
 }
@@ -311,10 +391,10 @@ func (r *Router) dequeueOut(port, vc int) entry {
 // and wakes the node for injection.
 func (n *Network) pushSrc(nd *Node, p *Packet) {
 	if nd.srcQ.empty() {
-		n.srcBusy++
+		nd.acts.srcBusy++
 	}
 	nd.srcQ.push(entry{pkt: p})
-	n.actNode.set(nd.ID)
+	nd.acts.node.set(nd.ID)
 }
 
 // popSrc removes the head of a node's source queue, putting the node
@@ -322,9 +402,9 @@ func (n *Network) pushSrc(nd *Node, p *Packet) {
 func (n *Network) popSrc(nd *Node) {
 	nd.srcQ.pop()
 	if nd.srcQ.empty() {
-		n.srcBusy--
+		nd.acts.srcBusy--
 		if len(nd.retxQ) == 0 {
-			n.actNode.clear(nd.ID)
+			nd.acts.node.clear(nd.ID)
 		}
 	}
 }

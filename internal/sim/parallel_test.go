@@ -1,0 +1,386 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"diam2/internal/routing"
+	"diam2/internal/sim"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+)
+
+// This file is the parallel engine's determinism contract, enforced
+// differentially (DESIGN.md §14):
+//
+//  1. a one-shard parallel engine reproduces the serial engine
+//     bit-exactly, on every golden scenario — the anchor tying the
+//     parallel machinery to the golden digests;
+//  2. for a fixed partition, Results are identical for any worker
+//     count and across repeated runs — the contract that makes
+//     parallel results storable and resumable;
+//  3. conservation invariants hold after parallel runs;
+//  4. unsafe combinations (global-state routing, delivery-observing or
+//     unmarked workloads) are refused, not silently raced.
+//
+// The whole file runs under -race in the parallel-equivalence CI job.
+
+// runGoldenParallel executes a golden scenario on a parallel engine
+// and checks invariants on the way out.
+func runGoldenParallel(t *testing.T, sc goldenSpec, opt sim.ParallelOptions) sim.Results {
+	t.Helper()
+	p := sc.setup(t)
+	net, err := sim.NewNetwork(p.topo, p.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := sim.NewParallelEngine(net, p.alg, p.work, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Stop()
+	if p.faults != nil {
+		if err := pe.SetFaultSchedule(p.faults); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pe.Warmup = sc.warmup
+	if sc.cycles > 0 {
+		pe.Run(sc.cycles)
+	} else if !pe.RunUntilDrained(sc.maxDrain) {
+		t.Fatalf("%s: did not drain", sc.name)
+	}
+	if err := pe.CheckInvariants(); err != nil {
+		t.Errorf("%s: invariants violated after parallel run: %v", sc.name, err)
+	}
+	return pe.Results()
+}
+
+// TestParallelSerialParity: a one-shard parallel engine must be
+// bit-identical to the serial engine on every golden scenario — same
+// rng stream, same packet IDs, same merge (a single-shard merge copies
+// exactly), so any divergence is a bug in the sharding machinery
+// itself.
+func TestParallelSerialParity(t *testing.T) {
+	for _, sc := range goldenSpecs {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			serial := resultsDigest(runGoldenSerial(t, sc))
+			par := resultsDigest(runGoldenParallel(t, sc, sim.ParallelOptions{Partitions: 1, Workers: 1}))
+			if par != serial {
+				t.Errorf("one-shard parallel diverges from serial:\n par %s\n ser %s", par, serial)
+			}
+		})
+	}
+}
+
+// TestParallelWorkerInvariance: for a fixed partition count, Results
+// must not depend on how many goroutines advance the shards, nor on
+// the run (repeat stability). This is the load-bearing determinism
+// property: worker scheduling is nondeterministic, so any
+// order-dependence in the mailbox or barrier path shows up here —
+// especially under -race, where scheduling is heavily perturbed.
+func TestParallelWorkerInvariance(t *testing.T) {
+	for _, sc := range goldenSpecs {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for _, p := range []int{2, 3} {
+				ref := ""
+				for _, w := range []int{1, p} {
+					d := resultsDigest(runGoldenParallel(t, sc, sim.ParallelOptions{Partitions: p, Workers: w}))
+					if ref == "" {
+						ref = d
+					} else if d != ref {
+						t.Errorf("P=%d: digest changed with worker count %d:\n got %s\nwant %s", p, w, d, ref)
+					}
+				}
+				// Repeat stability at the max worker count.
+				if d := resultsDigest(runGoldenParallel(t, sc, sim.ParallelOptions{Partitions: p, Workers: p})); d != ref {
+					t.Errorf("P=%d: digest changed across repeated runs:\n got %s\nwant %s", p, d, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelExplicitPartition: passing the recorded RouterPartition
+// back reproduces a run exactly, and invalid partitions are rejected.
+func TestParallelExplicitPartition(t *testing.T) {
+	sc := goldenSpecs[0] // mlfm-min-uni
+	p := sc.setup(t)
+	net, err := sim.NewNetwork(p.topo, p.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := sim.NewParallelEngine(net, p.alg, p.work, sim.ParallelOptions{Partitions: 3, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := pe.RouterPartition()
+	pe.Warmup = sc.warmup
+	pe.Run(sc.cycles)
+	ref := resultsDigest(pe.Results())
+	pe.Stop()
+
+	got := resultsDigest(runGoldenParallel(t, sc, sim.ParallelOptions{RouterPartition: part, Workers: 2}))
+	if got != ref {
+		t.Errorf("explicit partition did not reproduce the run:\n got %s\nwant %s", got, ref)
+	}
+
+	bad := func(name string, opt sim.ParallelOptions) {
+		q := sc.setup(t)
+		n2, err := sim.NewNetwork(q.topo, q.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pe, err := sim.NewParallelEngine(n2, q.alg, q.work, opt); err == nil {
+			pe.Stop()
+			t.Errorf("%s: invalid partition accepted", name)
+		}
+	}
+	bad("short partition", sim.ParallelOptions{RouterPartition: []int{0, 1}})
+	short := make([]int, len(part))
+	for i := range short {
+		short[i] = 0
+	}
+	short[0] = 2 // shard 1 owns no routers
+	bad("empty shard", sim.ParallelOptions{Partitions: 3, RouterPartition: short})
+}
+
+// TestParallelRejectsUnsafe: combinations the parallel engine cannot
+// order must fail construction, not race.
+func TestParallelRejectsUnsafe(t *testing.T) {
+	tp := mustMLFM(t, 3)
+	cfg := sim.TestConfig(2)
+
+	// Global-state routing reads remote occupancy counters.
+	ug, err := routing.NewUGALGlobal(tp, routing.UGALConfig{NI: 2, C: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := sim.NewNetwork(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe, err := sim.NewParallelEngine(net, ug, openUniform(tp, 0.1), sim.ParallelOptions{Partitions: 2}); err == nil {
+		pe.Stop()
+		t.Error("UGAL-Global accepted by the parallel engine")
+	}
+
+	// A workload without the ParallelSafe marker.
+	net2, err := sim.NewNetwork(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe, err := sim.NewParallelEngine(net2, routing.NewMinimal(tp), unmarkedWorkload{n: tp.Nodes()}, sim.ParallelOptions{Partitions: 2}); err == nil {
+		pe.Stop()
+		t.Error("unmarked workload accepted by the parallel engine")
+	}
+
+	// A delivery-observing workload (ordering of OnDeliver is undefined
+	// under sharding).
+	net3, err := sim.NewNetwork(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe, err := sim.NewParallelEngine(net3, routing.NewMinimal(tp), observingWorkload{n: tp.Nodes()}, sim.ParallelOptions{Partitions: 2}); err == nil {
+		pe.Stop()
+		t.Error("delivery-observing workload accepted by the parallel engine")
+	}
+}
+
+type unmarkedWorkload struct{ n int }
+
+func (u unmarkedWorkload) Name() string { return "unmarked" }
+func (u unmarkedWorkload) NextPacket(src int, now int64, rng *rand.Rand) (int, bool) {
+	return (src + 1) % u.n, true
+}
+func (u unmarkedWorkload) Done() bool { return false }
+
+type observingWorkload struct{ n int }
+
+func (o observingWorkload) Name() string { return "observing" }
+func (o observingWorkload) NextPacket(src int, now int64, rng *rand.Rand) (int, bool) {
+	return (o.n - 1 - src + o.n) % o.n, true
+}
+func (o observingWorkload) Done() bool                         { return false }
+func (o observingWorkload) ParallelSafe()                      {}
+func (o observingWorkload) OnDeliver(p *sim.Packet, now int64) {}
+
+// TestParallelConservation: a drained closed-loop exchange through a
+// multi-shard engine conserves packets globally (per-shard counters
+// may go transiently negative; the sums must balance exactly).
+func TestParallelConservation(t *testing.T) {
+	tp := mustMLFM(t, 3)
+	ex := traffic.AllToAll(tp.Nodes(), 2, rand.New(rand.NewSource(3)))
+	cfg := sim.TestConfig(2)
+	net, err := sim.NewNetwork(tp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := sim.NewParallelEngine(net, routing.NewValiant(tp), ex, sim.ParallelOptions{Partitions: 3, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Stop()
+	if !pe.RunUntilDrained(4_000_000) {
+		t.Fatalf("parallel a2a did not drain: %+v", pe.Results())
+	}
+	res := pe.Results()
+	want := ex.TotalPackets()
+	if res.Generated != want || res.Injected != want || res.Delivered != want {
+		t.Errorf("conservation violated: gen=%d inj=%d del=%d want=%d",
+			res.Generated, res.Injected, res.Delivered, want)
+	}
+	if err := pe.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	counts := pe.WorkerCycleCounts()
+	if len(counts) != 3 {
+		t.Fatalf("%d worker counters, want 3", len(counts))
+	}
+	for w, c := range counts {
+		if c != res.Cycles {
+			t.Errorf("worker %d completed %d cycles, run took %d", w, c, res.Cycles)
+		}
+	}
+}
+
+// TestParallelPropertyDeterminism: randomized configurations (topology
+// family, load, seed, partition count) must be repeat-stable and
+// worker-count-independent. A seeded sweep — the fuzz target
+// FuzzParallelDeterminism explores the same space open-endedly.
+func TestParallelPropertyDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	for i := 0; i < 6; i++ {
+		kind := uint8(rng.Intn(256))
+		algKind := uint8(rng.Intn(256))
+		load := rng.Float64()
+		seed := rng.Int63n(1 << 20)
+		parts := uint8(2 + rng.Intn(3))
+		checkParallelDeterminism(t, kind, algKind, load, seed, parts, 1500)
+	}
+}
+
+// checkParallelDeterminism builds the fuzz scenario and requires
+// digest stability across a repeat and across worker counts. Shared
+// by the property test and FuzzParallelDeterminism.
+func checkParallelDeterminism(t *testing.T, kind, algKind uint8, load float64, seed int64, parts uint8, cycles int64) {
+	t.Helper()
+	run := func(workers int) string {
+		tp, alg, work, cfg := fuzzScenario(t, kind, algKind, load, seed)
+		net, err := sim.NewNetwork(tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe, err := sim.NewParallelEngine(net, alg, work, sim.ParallelOptions{Partitions: int(parts), Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pe.Stop()
+		pe.Warmup = cycles / 4
+		pe.Run(cycles)
+		if err := pe.CheckInvariants(); err != nil {
+			t.Errorf("invariants: %v", err)
+		}
+		return resultsDigest(pe.Results())
+	}
+	a := run(1)
+	b := run(2)
+	c := run(2)
+	if a != b || b != c {
+		t.Errorf("kind=%d alg=%d load=%v seed=%d parts=%d: digests diverge\n w1   %s\n w2   %s\n w2'  %s",
+			kind, algKind, load, seed, parts, a, b, c)
+	}
+}
+
+// fuzzScenario maps arbitrary fuzz bytes onto a small, valid scenario:
+// a topology family, MIN or INR routing, and an open-loop uniform load
+// in (0, 1]. Shared by the serial and parallel determinism fuzzers.
+func fuzzScenario(t testing.TB, kind, algKind uint8, load float64, seed int64) (topo.Topology, sim.RoutingAlgorithm, sim.Workload, sim.Config) {
+	t.Helper()
+	var tp topo.Topology
+	var err error
+	switch kind % 5 {
+	case 0:
+		tp, err = topo.NewMLFM(3)
+	case 1:
+		tp, err = topo.NewSlimFly(5, topo.RoundDown)
+	case 2:
+		tp, err = topo.NewOFT(3)
+	case 3:
+		tp, err = topo.NewHyperX2D(3, 2)
+	default:
+		tp, err = topo.NewFatTree2(6)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alg sim.RoutingAlgorithm
+	if algKind%2 == 0 {
+		alg = routing.NewMinimal(tp)
+	} else {
+		alg = routing.NewValiant(tp)
+	}
+	if load != load || load <= 0 || load > 1 { // NaN or out of range
+		load = 0.3
+	}
+	cfg := sim.TestConfig(alg.NumVCs())
+	if seed < 0 {
+		seed = -seed
+	}
+	cfg.Seed = seed%100003 + 1
+	return tp, alg, openUniform(tp, load), cfg
+}
+
+// FuzzParallelDeterminism fuzzes the parallel determinism contract:
+// arbitrary (topology, algorithm, load, seed, partition count) must
+// produce identical digests across worker counts and repeats.
+func FuzzParallelDeterminism(f *testing.F) {
+	f.Add(uint8(0), uint8(0), 0.3, int64(1), uint8(2))
+	f.Add(uint8(1), uint8(1), 0.6, int64(42), uint8(3))
+	f.Add(uint8(3), uint8(0), 0.9, int64(7), uint8(4))
+	f.Add(uint8(4), uint8(1), 0.1, int64(99), uint8(2))
+	f.Fuzz(func(t *testing.T, kind, algKind uint8, load float64, seed int64, parts uint8) {
+		if parts%8 < 2 {
+			parts = 2 + parts%8
+		} else {
+			parts = parts % 8
+		}
+		checkParallelDeterminism(t, kind, algKind, load, seed, parts, 600)
+	})
+}
+
+// FuzzEngineDeterminism fuzzes the serial engine's own determinism:
+// the same configuration run twice must produce byte-identical Results
+// digests. Guards the engine's "fixed config and seed → fixed output"
+// contract (EngineSchema) against nondeterminism creeping in via map
+// iteration, pointer-keyed ordering, or uninitialized state.
+func FuzzEngineDeterminism(f *testing.F) {
+	f.Add(uint8(0), uint8(0), 0.35, int64(1))
+	f.Add(uint8(1), uint8(1), 0.5, int64(17))
+	f.Add(uint8(2), uint8(0), 1.0, int64(42))
+	f.Add(uint8(3), uint8(1), 0.7, int64(5))
+	f.Add(uint8(4), uint8(0), 0.2, int64(12345))
+	f.Fuzz(func(t *testing.T, kind, algKind uint8, load float64, seed int64) {
+		run := func() string {
+			tp, alg, work, cfg := fuzzScenario(t, kind, algKind, load, seed)
+			net, err := sim.NewNetwork(tp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := sim.NewEngine(net, alg, work)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Warmup = 200
+			e.Run(800)
+			return resultsDigest(e.Results())
+		}
+		a, b := run(), run()
+		if a != b {
+			t.Errorf("serial engine not deterministic for kind=%d alg=%d load=%v seed=%d:\n 1st %s\n 2nd %s",
+				kind, algKind, load, seed, a, b)
+		}
+	})
+}

@@ -29,9 +29,9 @@ func TestGoldenStatsTelemetry(t *testing.T) {
 	}
 	defer func() { telHook = nil }()
 
-	got := make([]string, 0, len(goldenScenarios))
-	for _, sc := range goldenScenarios {
-		got = append(got, sc.name+" "+resultsDigest(sc.run(t)))
+	got := make([]string, 0, len(goldenSpecs))
+	for _, sc := range goldenSpecs {
+		got = append(got, sc.name+" "+resultsDigest(runGoldenSerial(t, sc)))
 	}
 	want, err := readGoldenStats(t)
 	if err != nil {
@@ -42,18 +42,24 @@ func TestGoldenStatsTelemetry(t *testing.T) {
 			t.Errorf("telemetry perturbed the simulation:\n got %s\nwant %s", g, want[i])
 		}
 	}
-	if len(cols) != len(goldenScenarios) {
-		t.Fatalf("%d collectors attached for %d scenarios", len(cols), len(goldenScenarios))
+	if len(cols) != len(goldenSpecs) {
+		t.Fatalf("%d collectors attached for %d scenarios", len(cols), len(goldenSpecs))
 	}
+	faulted := 0
 	for i, c := range cols {
 		if c.EventCount(telemetry.EvDeliver) == 0 {
-			t.Errorf("scenario %s: collector saw no deliveries (hook not wired?)", goldenScenarios[i].name)
+			t.Errorf("scenario %s: collector saw no deliveries (hook not wired?)", goldenSpecs[i].name)
+		}
+		// Every faulted scenario must have seen its failure burst.
+		if goldenSpecs[i].name == "sf-min-faults" || goldenSpecs[i].name == "mlfm-min-mtbf" {
+			faulted++
+			if c.EventCount(telemetry.EvDrop) == 0 || c.EventCount(telemetry.EvRetransmit) == 0 {
+				t.Errorf("%s: collector recorded no drop/retransmit events", goldenSpecs[i].name)
+			}
 		}
 	}
-	// The faulted scenario must have seen the failure burst.
-	last := cols[len(cols)-1]
-	if last.EventCount(telemetry.EvDrop) == 0 || last.EventCount(telemetry.EvRetransmit) == 0 {
-		t.Error("sf-min-faults: collector recorded no drop/retransmit events")
+	if faulted != 2 {
+		t.Fatalf("expected 2 faulted scenarios in the golden set, saw %d", faulted)
 	}
 }
 

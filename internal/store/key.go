@@ -26,8 +26,12 @@ import (
 // below changes. Version 2 added the resolved adaptive-routing
 // configuration (the UGAL* fields): CLIs can override nI and the cost
 // constant without changing any point key string, so version-1 keys
-// could collide across materially different adaptive runs.
-const CanonVersion = 2
+// could collide across materially different adaptive runs. Version 3
+// added EngineCores: the sharded engine's results follow their own
+// determinism contract but are not bit-identical to the serial
+// engine's, so a -cores run must never satisfy a serial lookup (or
+// vice versa).
+const CanonVersion = 3
 
 // PointConfig is the fully-resolved configuration of one sweep point —
 // everything that determines its simulation output. The sweep point key
@@ -38,6 +42,7 @@ const CanonVersion = 2
 type PointConfig struct {
 	Point        string // scheduler point key, e.g. "fig6|SF(q=5,p=4)|MIN|UNI|load=0.5000"
 	EngineSchema int    // sim.EngineSchema the result was produced under
+	EngineCores  int    // sharded-engine partition/worker count; 0 = serial (1 normalizes to 0)
 
 	BaseSeed    int64 // sweep base seed (per-point seeds derive from it)
 	PatternSeed int64 // resolved traffic-structure seed
@@ -82,6 +87,7 @@ func (c PointConfig) Key() string {
 	field(h, "canon", strconv.Itoa(CanonVersion))
 	field(h, "point", c.Point)
 	field(h, "engine", strconv.Itoa(c.EngineSchema))
+	field(h, "engine-cores", strconv.Itoa(c.EngineCores))
 	field(h, "seed", strconv.FormatInt(c.BaseSeed, 10))
 	field(h, "pattern-seed", strconv.FormatInt(c.PatternSeed, 10))
 	field(h, "cycles", strconv.FormatInt(c.Cycles, 10))

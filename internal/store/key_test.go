@@ -49,6 +49,7 @@ func TestKeyDistinct(t *testing.T) {
 	muts := map[string]func(*PointConfig){
 		"Point":          func(c *PointConfig) { c.Point += "x" },
 		"EngineSchema":   func(c *PointConfig) { c.EngineSchema++ },
+		"EngineCores":    func(c *PointConfig) { c.EngineCores = 4 },
 		"BaseSeed":       func(c *PointConfig) { c.BaseSeed++ },
 		"PatternSeed":    func(c *PointConfig) { c.PatternSeed++ },
 		"Cycles":         func(c *PointConfig) { c.Cycles++ },

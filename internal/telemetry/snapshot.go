@@ -76,6 +76,10 @@ type Snapshot struct {
 
 	LatencyMinimal  LatencySnap `json:"latency_minimal"`
 	LatencyIndirect LatencySnap `json:"latency_indirect"`
+
+	// WorkerCycles lists the cycles each worker of a sharded engine run
+	// executed; absent for serial runs.
+	WorkerCycles []int64 `json:"worker_cycles,omitempty"`
 }
 
 // Snapshot captures the collector's current state. It can be called
@@ -142,6 +146,7 @@ func (c *Collector) Snapshot(now int64) *Snapshot {
 	})
 	s.LatencyMinimal = latencySnap(c.latMinimal)
 	s.LatencyIndirect = latencySnap(c.latIndirect)
+	s.WorkerCycles = append([]int64(nil), c.workerCycles...)
 	return s
 }
 

@@ -127,6 +127,11 @@ type Collector struct {
 	linkFlits      int64 // total flits that completed a router-to-router traversal
 	hopsDelivered  int64 // sum of Hops over delivered packets
 
+	// workerCycles holds the per-worker cycle counters of a sharded
+	// (sim.ParallelEngine) run; serial engines never set it, so it stays
+	// nil — and absent from snapshots — for single-threaded runs.
+	workerCycles []int64
+
 	startCycle int64
 	endCycle   int64
 	finished   bool
@@ -179,6 +184,24 @@ func (c *Collector) Finish(cycle int64) {
 	defer c.mu.Unlock()
 	c.endCycle = cycle
 	c.finished = true
+}
+
+// SetWorkerCycles records the per-worker cycle counters of a sharded
+// engine run. This coarse progress counter is the only telemetry the
+// sharded engine emits — the per-event hooks stay serial-engine-only,
+// so a collector can never perturb or race the parallel hot path.
+func (c *Collector) SetWorkerCycles(cycles []int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workerCycles = append(c.workerCycles[:0], cycles...)
+}
+
+// WorkerCycles returns the recorded per-worker cycle counters (nil for
+// serial runs).
+func (c *Collector) WorkerCycles() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int64(nil), c.workerCycles...)
 }
 
 // event appends to the ring and bumps the kind counter. Callers hold mu.

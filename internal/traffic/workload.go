@@ -3,6 +3,7 @@ package traffic
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // OpenLoop adapts a Pattern into an open-loop Bernoulli workload: at
@@ -29,6 +30,11 @@ func (o *OpenLoop) NextPacket(src int, _ int64, rng *rand.Rand) (int, bool) {
 // Done implements sim.Workload (open-loop runs never finish).
 func (o *OpenLoop) Done() bool { return false }
 
+// ParallelSafe marks the workload safe for sharded engines
+// (sim.ParallelSafeWorkload): NextPacket reads only immutable pattern
+// state and the caller's rng.
+func (o *OpenLoop) ParallelSafe() {}
+
 // Message is a fixed-size transfer to one destination.
 type Message struct {
 	Dst     int
@@ -46,8 +52,12 @@ type Exchange struct {
 	msgs      [][]Message
 	remaining [][]int // packets left per message
 	rrMsg     []int   // round-robin cursor per node
-	left      int64   // total packets still to inject
-	total     int64
+	// left counts packets still to inject across all nodes. It is
+	// atomic because sharded engines call NextPacket concurrently from
+	// different source nodes; all other mutable state is per-source and
+	// each source belongs to exactly one shard.
+	left  atomic.Int64
+	total int64
 }
 
 // NewExchange builds an exchange from per-node message lists
@@ -60,10 +70,10 @@ func NewExchange(label string, msgs [][]Message, interleave bool) *Exchange {
 		e.remaining[n] = make([]int, len(list))
 		for i, m := range list {
 			e.remaining[n][i] = m.Packets
-			e.left += int64(m.Packets)
+			e.total += int64(m.Packets)
 		}
 	}
-	e.total = e.left
+	e.left.Store(e.total)
 	return e
 }
 
@@ -84,7 +94,7 @@ func (e *Exchange) NextPacket(src int, _ int64, _ *rand.Rand) (int, bool) {
 			i := (e.rrMsg[src] + trial) % len(rem)
 			if rem[i] > 0 {
 				rem[i]--
-				e.left--
+				e.left.Add(-1)
 				e.rrMsg[src] = (i + 1) % len(rem)
 				return e.msgs[src][i].Dst, true
 			}
@@ -94,7 +104,7 @@ func (e *Exchange) NextPacket(src int, _ int64, _ *rand.Rand) (int, bool) {
 	for i, r := range rem {
 		if r > 0 {
 			rem[i]--
-			e.left--
+			e.left.Add(-1)
 			return e.msgs[src][i].Dst, true
 		}
 	}
@@ -102,7 +112,11 @@ func (e *Exchange) NextPacket(src int, _ int64, _ *rand.Rand) (int, bool) {
 }
 
 // Done implements sim.Workload.
-func (e *Exchange) Done() bool { return e.left == 0 }
+func (e *Exchange) Done() bool { return e.left.Load() == 0 }
+
+// ParallelSafe marks the workload safe for sharded engines
+// (sim.ParallelSafeWorkload); see the left field.
+func (e *Exchange) ParallelSafe() {}
 
 // AllToAll builds the A2A exchange of Section 4.4: every node sends
 // packetsPerPair packets to every other node. Following the optimized
