@@ -37,9 +37,10 @@
 // routing tables are rebuilt from the degraded graph after the
 // -rebuild-latency window.
 //
-// Profiling: -cpuprofile/-memprofile write pprof profiles of the run;
-// the summary always includes the achieved simulation rate (cycles/s).
-// See README, "Profiling the engine".
+// Profiling: -cpuprofile/-memprofile write pprof profiles of the run,
+// -traceprofile a runtime execution trace (the tool for diagnosing
+// -cores barrier imbalance); the summary always includes the achieved
+// simulation rate (cycles/s). See README, "Profiling the engine".
 //
 // Observability: -telemetry collects the unified telemetry of the run
 // (congestion heatmap, minimal-vs-indirect latency split, flight
@@ -94,8 +95,9 @@ func main() {
 		retxTO     = flag.Int("retx-timeout", 0, "override the retransmission timeout, cycles")
 		rebuildLat = flag.Int("rebuild-latency", 0, "override the routing-table rebuild latency, cycles (negative forces instant rebuild)")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+		traceProfile = flag.String("traceprofile", "", "write a runtime execution trace of the run to this file (go tool trace; shows -cores barrier waits)")
 
 		telemetryOn = flag.Bool("telemetry", false, "collect unified telemetry (heatmap, latency split, flight recorder)")
 		traceOut    = flag.String("trace-out", "", "write the flight-recorder event trace as JSONL to this file (implies -telemetry)")
@@ -121,7 +123,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
+	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile, *traceProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sim:", err)
 		os.Exit(1)

@@ -60,8 +60,10 @@
 // "Distributed campaigns".
 //
 // Profiling: -cpuprofile/-memprofile write pprof profiles of the whole
-// sweep, and the stderr summary reports the achieved simulation rate
-// (sim-cycles and cycles/s). See README, "Profiling the engine".
+// sweep, -traceprofile a runtime execution trace (worker scheduling
+// and -cores barrier waits), and the stderr summary reports the
+// achieved simulation rate (sim-cycles and cycles/s). See README,
+// "Profiling the engine".
 //
 // Observability: -telemetry attaches a collector to every sweep point;
 // -trace-out FILE exports the per-point flight-recorder events as
@@ -114,8 +116,9 @@ func main() {
 		retries    = flag.Int("retries", campaign.DefaultMaxAttempts, "campaign attempts per point (across all workers) before quarantine")
 		backoffD   = flag.Duration("backoff", campaign.DefaultBaseBackoff, "campaign base backoff after a failed attempt (doubles per attempt, jittered)")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+		traceProfile = flag.String("traceprofile", "", "write a runtime execution trace of the sweep to this file (go tool trace; shows -cores barrier waits and -j worker scheduling)")
 
 		telemetryOn = flag.Bool("telemetry", false, "collect unified telemetry for every sweep point")
 		traceOut    = flag.String("trace-out", "", "write the per-point flight-recorder traces as JSONL to this file (implies -telemetry)")
@@ -144,7 +147,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile)
+	stopProf, err := harness.StartProfiles(*cpuProfile, *memProfile, *traceProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sweep:", err)
 		os.Exit(1)

@@ -5,6 +5,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"sync/atomic"
 )
 
@@ -25,10 +26,16 @@ func countCycles(n int64) { simulatedCycles.Add(n) }
 // divide by wall time for the achieved simulation rate.
 func SimulatedCycles() int64 { return simulatedCycles.Load() }
 
-// StartProfiles begins CPU profiling to cpuPath and arranges a heap
-// profile at memPath (either may be empty). The returned stop function
-// finishes both; call it once, after the measured work.
-func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+// StartProfiles begins CPU profiling to cpuPath, an execution trace to
+// tracePath, and arranges a heap profile at memPath (any may be
+// empty). The returned stop function finishes all of them; call it
+// once, after the measured work.
+//
+// The execution trace is the tool for the sharded engine: unlike a CPU
+// profile, which says where time went, the trace shows worker
+// goroutines blocking on the cycle barriers — shard imbalance appears
+// as one worker computing while the rest park (`go tool trace`).
+func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -40,10 +47,35 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("start cpu profile: %w", err)
 		}
 	}
+	var traceFile *os.File
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+		if err := trace.Start(traceFile); err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			traceFile.Close()
+			return nil, fmt.Errorf("start execution trace: %w", err)
+		}
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil {
 				return err
 			}
 		}

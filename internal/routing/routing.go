@@ -144,13 +144,18 @@ func (b *base) target(p *sim.Packet, here int) int {
 // (footnote 1 of the paper).
 func (b *base) nextHop(p *sim.Packet, r *sim.Router, rng *rand.Rand) (int, int) {
 	tgt := b.target(p, r.ID)
-	want := b.dist[r.ID][tgt] - 1
+	// The graph is undirected, so the distance matrix is symmetric;
+	// reading the target's row keeps every per-port lookup inside one
+	// contiguous row instead of chasing a row pointer per neighbor.
+	row := b.dist[tgt]
+	want := row[r.ID] - 1
 	bestPort := -1
 	bestOcc := 0
 	ties := 0
-	for port := 0; port < r.NetPorts(); port++ {
+	np := r.NetPorts()
+	for port := 0; port < np; port++ {
 		nb := r.NeighborAt(port)
-		if b.dist[nb][tgt] != want || !b.usable(r, port) {
+		if row[nb] != want || !b.usable(r, port) {
 			continue
 		}
 		occ := r.OutOccupancy(port)
@@ -185,10 +190,12 @@ func (b *base) pickIntermediate(p *sim.Packet, rng *rand.Rand) int {
 // least-occupied output port on a minimal path toward tgt (the
 // UGAL-L congestion signal), together with that port.
 func (b *base) firstHopOccupancy(r *sim.Router, tgt int) (occ, port int) {
-	want := b.dist[r.ID][tgt] - 1
+	row := b.dist[tgt] // symmetric matrix, see nextHop
+	want := row[r.ID] - 1
 	occ, port = -1, -1
-	for pt := 0; pt < r.NetPorts(); pt++ {
-		if b.dist[r.NeighborAt(pt)][tgt] != want || !b.usable(r, pt) {
+	np := r.NetPorts()
+	for pt := 0; pt < np; pt++ {
+		if row[r.NeighborAt(pt)] != want || !b.usable(r, pt) {
 			continue
 		}
 		o := r.OutOccupancy(pt)

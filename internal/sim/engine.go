@@ -63,24 +63,33 @@ type Workload interface {
 	Done() bool
 }
 
-// event kinds processed from the delay ring.
-type eventKind uint8
+// Deferred effects travel through three typed delay rings instead of a
+// single ring of tagged event structs. Credit returns and output-buffer
+// releases always move exactly one packet's worth of flits, so each is
+// an 8-byte packed reference applied with one integer add in a batched
+// fixed-order pass, and deliveries are bare slab handles. The rings
+// hold no pointers, so the GC never scans them, and one ring slot costs
+// 1/7th the memory traffic of the old event structs — the dominant
+// saving in the saturated regime, where nearly every (port, VC) pair
+// schedules per cycle.
+//
+// nodeCreditRef tags a terminal-link credit: bits 32..62 hold the node,
+// the low 32 bits the VC. Untagged refs are router credits/releases:
+// bits 32..62 the router, the low 32 bits the precomputed
+// idx(port, vc) buffer index.
+const nodeCreditRef = uint64(1) << 63
 
-const (
-	evCredit     eventKind = iota // credits return to a router output port
-	evNodeCredit                  // credits return to a node's terminal link
-	evOutRelease                  // output buffer occupancy release
-	evDeliver                     // packet tail reached its destination node
-)
+func routerRef(router, idx int) uint64 { return uint64(router)<<32 | uint64(uint32(idx)) }
 
-type event struct {
-	kind   eventKind
-	router int
-	port   int
-	vc     int
-	amount int
-	node   int
-	pkt    *Packet
+func nodeRef(node, vc int) uint64 {
+	return nodeCreditRef | uint64(node)<<32 | uint64(uint32(vc))
+}
+
+// ringSlot holds the deferred effects landing on one future cycle.
+type ringSlot struct {
+	credits  []uint64    // router/node credit returns (packed refs)
+	releases []uint64    // output-buffer occupancy releases (packed refs)
+	delivers []pktHandle // packet tails reaching their destination node
 }
 
 // Engine is the cycle-driven simulator.
@@ -97,25 +106,26 @@ type Engine struct {
 	// node, and par is nil — every parallel branch below reduces to its
 	// serial form. A ParallelEngine builds one Engine per partition
 	// with acts/nodes restricted to the owned components and par set,
-	// which routes cross-partition packets and credit events through
+	// which routes cross-partition packets and credit returns through
 	// the per-shard-pair mailboxes instead of touching state another
 	// shard owns.
-	shard  int
-	acts   *actSet
-	nodes  []*Node
-	par    *ParallelEngine
-	outPkt [][]pktMsg // [destination shard] cross-partition packet handoffs
-	outEv  [][]evMsg  // [destination shard] cross-partition credit events
+	shard   int
+	acts    *actSet
+	nodes   []*Node
+	par     *ParallelEngine
+	outPkt  [][]pktMsg  // [destination shard] cross-partition packet handoffs
+	outCred [][]credMsg // [destination shard] cross-partition credit returns
 
 	now     int64
 	rng     *rand.Rand
-	ring    [][]event
+	ring    []ringSlot
 	ringLen int64
 	slot    int64 // == now % ringLen, maintained incrementally
 
-	// pktFree recycles delivered Packet structs (see packet.go); the
-	// steady-state hot path allocates nothing once the pool is warm.
-	pktFree []*Packet
+	// slab holds every live Packet of this engine (shard-private in a
+	// sharded run; see packet.go and DESIGN.md §15). The steady-state
+	// hot path allocates nothing once the arena is warm.
+	slab pktSlab
 
 	pktFlits int
 	nextID   int64
@@ -180,10 +190,7 @@ func NewEngine(net *Network, alg RoutingAlgorithm, work Workload) (*Engine, erro
 		nodes:    net.Nodes,
 	}
 	e.ringLen = int64(cfg.PacketFlits() + cfg.LinkLatency + cfg.SwitchLatency + 2)
-	e.ring = make([][]event, e.ringLen)
-	for i := range e.ring {
-		e.ring[i] = make([]event, 0, 8)
-	}
+	e.ring = make([]ringSlot, e.ringLen)
 	e.observer, _ = work.(DeliveryObserver)
 	// Latency histograms in cycles: bucket width scales with the
 	// network latency so percentiles stay meaningful at any scale.
@@ -196,11 +203,12 @@ func NewEngine(net *Network, alg RoutingAlgorithm, work Workload) (*Engine, erro
 // Now returns the current cycle.
 func (e *Engine) Now() int64 { return e.now }
 
-func (e *Engine) schedule(delay int64, ev event) {
-	// e.slot caches now % ringLen, and every delay the stages use fits
-	// within one ring revolution, so a conditional subtract replaces
-	// the int64 division that showed up hot in profiles. The modulo
-	// fallback keeps larger delays correct should one ever appear.
+// slotAt maps a scheduling delay onto the ring. e.slot caches
+// now % ringLen, and every delay the stages use fits within one ring
+// revolution, so a conditional subtract replaces the int64 division
+// that showed up hot in profiles. The modulo fallback keeps larger
+// delays correct should one ever appear.
+func (e *Engine) slotAt(delay int64) int64 {
 	t := e.slot + delay
 	if t >= e.ringLen {
 		t -= e.ringLen
@@ -208,7 +216,22 @@ func (e *Engine) schedule(delay int64, ev event) {
 			t %= e.ringLen
 		}
 	}
-	e.ring[t] = append(e.ring[t], ev)
+	return t
+}
+
+func (e *Engine) scheduleCredit(delay int64, ref uint64) {
+	s := &e.ring[e.slotAt(delay)]
+	s.credits = append(s.credits, ref)
+}
+
+func (e *Engine) scheduleRelease(delay int64, ref uint64) {
+	s := &e.ring[e.slotAt(delay)]
+	s.releases = append(s.releases, ref)
+}
+
+func (e *Engine) scheduleDeliver(delay int64, h pktHandle) {
+	s := &e.ring[e.slotAt(delay)]
+	s.delivers = append(s.delivers, h)
 }
 
 // Step advances the simulation by one cycle.
@@ -278,23 +301,44 @@ func (e *Engine) workDone() bool {
 	return e.Work.Done()
 }
 
+// processEvents applies the deferred effects that land this cycle:
+// first the batched credit returns, then the output-buffer releases,
+// then the deliveries. Credits and releases are commutative integer
+// adds that nothing else in this pass reads, so applying each kind in
+// one fixed-order sweep is behaviour-identical to the old interleaved
+// event list; deliveries keep their insertion order, which is the
+// order the old list processed them in, so every stat and observer
+// callback fires in the same sequence.
 func (e *Engine) processEvents() {
-	slot := e.slot
-	evs := e.ring[slot]
-	e.ring[slot] = evs[:0]
-	for _, ev := range evs {
-		switch ev.kind {
-		case evCredit:
-			r := e.Net.Routers[ev.router]
-			r.credits[r.idx(ev.port, ev.vc)] += ev.amount
-		case evNodeCredit:
-			e.Net.Nodes[ev.node].credits[ev.vc] += ev.amount
-		case evOutRelease:
-			r := e.Net.Routers[ev.router]
-			r.outOcc[r.idx(ev.port, ev.vc)] -= ev.amount
-		case evDeliver:
-			e.deliver(ev.pkt)
+	s := &e.ring[e.slot]
+	flits := e.pktFlits
+	if len(s.credits) > 0 {
+		routers := e.Net.Routers
+		nodes := e.Net.Nodes
+		for _, ref := range s.credits {
+			if ref&nodeCreditRef == 0 {
+				routers[ref>>32].credits[uint32(ref)] += flits
+			} else {
+				nodes[(ref>>32)&0x7fffffff].credits[uint32(ref)] += flits
+			}
 		}
+		s.credits = s.credits[:0]
+	}
+	if len(s.releases) > 0 {
+		routers := e.Net.Routers
+		for _, ref := range s.releases {
+			r := routers[ref>>32]
+			ci := int(uint32(ref))
+			r.outOcc[ci] -= flits
+			r.occSum[ci/r.nv] -= flits
+		}
+		s.releases = s.releases[:0]
+	}
+	if len(s.delivers) > 0 {
+		for _, h := range s.delivers {
+			e.deliver(h)
+		}
+		s.delivers = s.delivers[:0]
 	}
 }
 
@@ -306,7 +350,8 @@ func (e *Engine) Stalled(window int64) bool {
 	return e.injected > e.delivered && e.now-e.lastDeliver > window
 }
 
-func (e *Engine) deliver(p *Packet) {
+func (e *Engine) deliver(h pktHandle) {
+	p := e.pkt(h)
 	p.DeliverTime = e.now
 	e.delivered++
 	e.lastDeliver = e.now
@@ -338,8 +383,8 @@ func (e *Engine) deliver(p *Packet) {
 		}
 	}
 	// The packet has left the simulation and every hook above has run;
-	// recycle the struct (freelist ownership rules: DESIGN.md §10).
-	e.freePacket(p)
+	// recycle the slot (slab ownership rules: DESIGN.md §15).
+	e.slab.release(h)
 }
 
 // linkStage moves packets from output buffers onto links: downstream
@@ -347,72 +392,88 @@ func (e *Engine) deliver(p *Packet) {
 // ports. Only routers in the output active set, and within them only
 // ports with buffered packets, are visited; both iterations run in
 // ascending order, matching the full scan's visit order over non-idle
-// components.
+// components. The VC walk rotates from the round-robin pointer with a
+// conditional subtract — same visit order as the old (rr+i) % nv, no
+// division.
 func (e *Engine) linkStage() {
 	flits := int64(e.pktFlits)
 	linkLat := int64(e.Cfg.LinkLatency)
 	nv := e.Cfg.NumVCs
+	// Hoisted off the Engine: the compiler cannot prove stores through
+	// *Router don't alias these fields, so leaving them as e.x reloads
+	// them on every iteration of the hot loops below.
+	now := e.now
+	pf := e.pktFlits
 	act := e.acts.out
 	for id := act.nextFrom(0); id >= 0; id = act.nextFrom(id + 1) {
 		r := e.Net.Routers[id]
 		m := r.outMask
 		for port := m.nextFrom(0); port >= 0; port = m.nextFrom(port + 1) {
-			if r.linkFree[port] > e.now {
+			if r.linkFree[port] > now {
 				continue
 			}
 			if r.portDown != nil && port < r.netPorts && r.portDown[port] {
 				continue // downed links stop transmitting
 			}
+			start := r.rrOut[port]
 			for i := 0; i < nv; i++ {
-				vc := (r.rrOut[port] + i) % nv
-				q := &r.outQ[r.idx(port, vc)]
+				vc := start + i
+				if vc >= nv {
+					vc -= nv
+				}
+				ci := r.idx(port, vc)
+				q := &r.outQ[ci]
 				if q.empty() {
 					continue
 				}
-				head := q.front()
-				if head.ready > e.now {
+				if q.front().ready > now {
 					continue
 				}
 				if !r.isTerminal(port) {
 					// Virtual cut-through: need room downstream for the
 					// whole packet.
-					if r.credits[r.idx(port, vc)] < e.pktFlits {
+					if r.credits[ci] < pf {
 						continue
 					}
-					r.credits[r.idx(port, vc)] -= e.pktFlits
+					r.credits[ci] -= pf
 					ent := r.dequeueOut(port, vc)
-					ent.pkt.Hops++
+					p := e.pkt(ent.h)
+					p.Hops++
 					next := e.Net.Routers[r.neighbor[port]]
-					in := entry{
-						pkt:     ent.pkt,
-						ready:   e.now + linkLat,
-						outPort: -1,
-					}
 					if next.part == e.shard {
-						next.enqueueIn(r.revPort[port], vc, in)
+						next.enqueueIn(r.revPort[port], vc, entry{h: ent.h, ready: now + linkLat, outPort: -1})
 					} else {
-						// Cross-partition hop: hand the entry to the owning
-						// shard's mailbox. Delivery is deferred to the
-						// inter-cycle exchange, which is safe because the
-						// entry's ready time (now+linkLat ≥ now+1) keeps it
-						// untouched this cycle even under serial semantics.
+						// Cross-partition hop: the packet leaves this
+						// shard's world entirely, so it travels by value —
+						// the owning shard re-homes it in its own slab at
+						// the inter-cycle exchange (handles never cross
+						// shards; DESIGN.md §15). Deferral is safe because
+						// the entry's ready time (now+linkLat >= now+1)
+						// keeps it untouched this cycle even under serial
+						// semantics.
 						e.outPkt[next.part] = append(e.outPkt[next.part],
-							pktMsg{router: next.ID, port: r.revPort[port], vc: vc, ent: in})
+							pktMsg{router: next.ID, port: r.revPort[port], vc: vc, ready: now + linkLat, pkt: *p})
 					}
-					e.recordLink(r.ID, next.ID, e.pktFlits)
+					e.recordLink(r.ID, next.ID, pf)
 					if e.tel != nil {
-						e.tel.LinkTraverse(r.ID, next.ID, vc, e.pktFlits)
+						e.tel.LinkTraverse(r.ID, next.ID, vc, pf)
 					}
 					if e.recorder != nil {
-						e.recorder.recordHop(ent.pkt, next.ID, ent.pkt.VC)
+						e.recorder.recordHop(p, next.ID, p.VC)
+					}
+					if next.part != e.shard {
+						e.slab.release(ent.h)
 					}
 				} else {
 					ent := r.dequeueOut(port, vc)
-					e.schedule(flits+linkLat, event{kind: evDeliver, pkt: ent.pkt})
+					e.scheduleDeliver(flits+linkLat, ent.h)
 				}
-				r.linkFree[port] = e.now + flits
-				e.schedule(flits, event{kind: evOutRelease, router: r.ID, port: port, vc: vc, amount: e.pktFlits})
-				r.rrOut[port] = (vc + 1) % nv
+				r.linkFree[port] = now + flits
+				e.scheduleRelease(flits, routerRef(r.ID, ci))
+				if vc++; vc == nv {
+					vc = 0
+				}
+				r.rrOut[port] = vc
 				break
 			}
 		}
@@ -452,7 +513,9 @@ func (e *Engine) switchStage() {
 			}
 		}
 		if granted {
-			r.rrIn = (r.rrIn + 1) % r.nPorts
+			if r.rrIn++; r.rrIn == r.nPorts {
+				r.rrIn = 0
+			}
 		}
 	}
 }
@@ -460,11 +523,20 @@ func (e *Engine) switchStage() {
 // switchAllocPort tries to grant one packet from input port's VC
 // queues to an output buffer; reports whether a grant happened.
 func (e *Engine) switchAllocPort(r *Router, port, nv int, xfer, swLat, linkLat int64) bool {
-	if r.inPortFree[port] > e.now {
+	now := e.now
+	if r.inPortFree[port] > now {
 		return false
 	}
+	// Hoisted loads, same rationale as linkStage.
+	pf := e.pktFlits
+	obf := e.Cfg.OutputBufFlits
+	win0 := e.Cfg.AllocWindow
+	startVC := r.rrVC[port]
 	for vi := 0; vi < nv; vi++ {
-		vc := (r.rrVC[port] + vi) % nv
+		vc := startVC + vi
+		if vc >= nv {
+			vc -= nv
+		}
 		q := &r.inQ[r.idx(port, vc)]
 		// Windowed allocation: scan past a blocked head so a
 		// packet bound for a free output is not stuck behind
@@ -474,32 +546,34 @@ func (e *Engine) switchAllocPort(r *Router, port, nv int, xfer, swLat, linkLat i
 		// Per-flow order is preserved: packets of one flow
 		// share an output port and are granted in order.
 		pick := -1
-		win := e.Cfg.AllocWindow
+		win := win0
 		if win > q.len() {
 			win = q.len()
 		}
 		for i := 0; i < win; i++ {
 			cand := q.at(i)
-			if cand.ready > e.now {
+			if cand.ready > now {
 				break // later entries arrived even later
 			}
 			if cand.outPort < 0 {
-				p := cand.pkt
+				p := e.pkt(cand.h)
 				if p.DstRouter == r.ID {
-					cand.outPort = e.Net.terminalPortFor(p.Dst)
-					cand.outVC = p.VC
+					cand.outPort = int16(e.Net.terminalPortFor(p.Dst))
+					cand.outVC = int16(p.VC)
 				} else {
-					cand.outPort, cand.outVC = e.Alg.NextHop(p, r, e.rng)
+					op, ov := e.Alg.NextHop(p, r, e.rng)
+					cand.outPort, cand.outVC = int16(op), int16(ov)
 				}
 				r.pendingOut[cand.outPort] += p.Flits
+				r.occSum[cand.outPort] += p.Flits
 				if e.tel != nil {
-					e.tel.Route(e.now, p.ID, p.Src, p.Dst, r.ID, cand.outPort, p.VC, cand.outVC, p.Minimal)
+					e.tel.Route(e.now, p.ID, p.Src, p.Dst, r.ID, int(cand.outPort), p.VC, int(cand.outVC), p.Minimal)
 				}
 			}
-			if r.outAccept[cand.outPort] > e.now {
+			if r.outAccept[cand.outPort] > now {
 				continue
 			}
-			if r.outOcc[r.idx(cand.outPort, cand.outVC)]+e.pktFlits > e.Cfg.OutputBufFlits {
+			if r.outOcc[r.idx(int(cand.outPort), int(cand.outVC))]+pf > obf {
 				continue
 			}
 			pick = i
@@ -510,34 +584,41 @@ func (e *Engine) switchAllocPort(r *Router, port, nv int, xfer, swLat, linkLat i
 		}
 		// Grant.
 		ent := r.takeIn(port, vc, pick)
-		op, ov := ent.outPort, ent.outVC
-		r.pendingOut[op] -= ent.pkt.Flits
-		ent.pkt.VC = ov
-		r.outOcc[r.idx(op, ov)] += e.pktFlits
-		r.outAccept[op] = e.now + xfer
-		r.inPortFree[port] = e.now + xfer
-		r.enqueueOut(op, ov, entry{pkt: ent.pkt, ready: e.now + swLat})
+		p := e.pkt(ent.h)
+		op, ov := int(ent.outPort), int(ent.outVC)
+		r.pendingOut[op] -= p.Flits
+		r.occSum[op] += pf - p.Flits
+		p.VC = ov
+		r.outOcc[r.idx(op, ov)] += pf
+		r.outAccept[op] = now + xfer
+		r.inPortFree[port] = now + xfer
+		r.enqueueOut(op, ov, entry{h: ent.h, ready: now + swLat})
 		// Return credits upstream once the tail leaves this
 		// input buffer (after flits cycles) plus the credit
-		// propagation delay.
+		// propagation delay. Credit returns are packed refs on
+		// the credit ring, applied in a batched pass (see
+		// processEvents).
 		if r.isTerminal(port) {
 			node := r.nodeAt[port-r.netPorts]
-			e.schedule(xfer+linkLat, event{kind: evNodeCredit, node: node, vc: vc, amount: e.pktFlits})
+			e.scheduleCredit(xfer+linkLat, nodeRef(node, vc))
 		} else {
 			up := e.Net.Routers[r.neighbor[port]]
-			ev := event{kind: evCredit, router: up.ID, port: r.revPort[port], vc: vc, amount: e.pktFlits}
+			ref := routerRef(up.ID, up.idx(r.revPort[port], vc))
 			if up.part == e.shard {
-				e.schedule(xfer+linkLat, ev)
+				e.scheduleCredit(xfer+linkLat, ref)
 			} else {
 				// Credit for an upstream router another shard owns:
 				// deferred to the inter-cycle exchange. The credit delay
-				// xfer+linkLat ≥ 2 leaves at least one cycle of slack, so
+				// xfer+linkLat >= 2 leaves at least one cycle of slack, so
 				// scheduling it on the owner next cycle with delay-1
 				// lands on the same absolute cycle.
-				e.outEv[up.part] = append(e.outEv[up.part], evMsg{delay: xfer + linkLat, ev: ev})
+				e.outCred[up.part] = append(e.outCred[up.part], credMsg{delay: xfer + linkLat, ref: ref})
 			}
 		}
-		r.rrVC[port] = (vc + 1) % nv
+		if vc++; vc == nv {
+			vc = 0
+		}
+		r.rrVC[port] = vc
 		return true
 	}
 	return false
@@ -564,7 +645,8 @@ func (e *Engine) injectStage() {
 	for _, nd := range e.nodes {
 		if nd.srcQ.len() < e.Cfg.SourceQueueCap {
 			if dst, ok := e.Work.NextPacket(nd.ID, e.now, e.rng); ok {
-				p := e.allocPacket()
+				h := e.slab.alloc()
+				p := e.pkt(h)
 				p.ID = e.nextID
 				p.Src = nd.ID
 				p.Dst = dst
@@ -575,7 +657,7 @@ func (e *Engine) injectStage() {
 				p.Intermediate = -1
 				e.nextID++
 				e.generated++
-				e.Net.pushSrc(nd, p)
+				e.Net.pushSrc(nd, h)
 			}
 		}
 		e.tryInject(nd)
@@ -592,14 +674,16 @@ func (e *Engine) tryInject(nd *Node) {
 	// Retransmissions of dropped packets take priority over fresh
 	// traffic: they are older and gate drain completion.
 	retx := -1
+	var h pktHandle
 	var p *Packet
 	if e.faults != nil {
 		retx = nd.readyRetx(e.now)
 	}
 	if retx >= 0 {
-		p = nd.retxQ[retx].pkt
-		// Reset routing state; Inject below re-decides the route on
-		// the current tables.
+		// The retx queue parks packets by value; route state mutations
+		// (here and in Inject below) persist on the parked copy across
+		// failed attempts, exactly as they did on the old shared struct.
+		p = &nd.retxQ[retx].pkt
 		p.Hops = 0
 		p.PhaseTwo = false
 		p.Intermediate = -1
@@ -607,7 +691,8 @@ func (e *Engine) tryInject(nd *Node) {
 		if nd.srcQ.empty() {
 			return
 		}
-		p = nd.srcQ.front().pkt
+		h = nd.srcQ.front().h
+		p = e.pkt(h)
 	}
 	r := e.Net.Routers[nd.Router]
 	vc := e.Alg.Inject(p, r, e.rng)
@@ -616,6 +701,12 @@ func (e *Engine) tryInject(nd *Node) {
 	}
 	nd.credits[vc] -= e.pktFlits
 	if retx >= 0 {
+		// Re-home the parked copy into this shard's slab before
+		// removing it from the queue (DESIGN.md §15).
+		h = e.slab.alloc()
+		np := e.pkt(h)
+		*np = *p
+		p = np
 		nd.takeRetx(retx)
 		if len(nd.retxQ) == 0 && nd.srcQ.empty() {
 			nd.acts.node.clear(nd.ID)
@@ -643,5 +734,5 @@ func (e *Engine) tryInject(nd *Node) {
 	}
 	nd.linkFree = e.now + int64(e.pktFlits)
 	inPort := e.Net.nodeRouterPort[p.Src]
-	r.enqueueIn(inPort, vc, entry{pkt: p, ready: e.now + int64(e.Cfg.LinkLatency), outPort: -1})
+	r.enqueueIn(inPort, vc, entry{h: h, ready: e.now + int64(e.Cfg.LinkLatency), outPort: -1})
 }

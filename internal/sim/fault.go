@@ -153,8 +153,14 @@ type faultState struct {
 }
 
 // retxEntry is one lost packet waiting at its source for retransmission.
+// The packet is parked by value: a dropped packet's slab slot is
+// released at the drop, so the retx queue never holds a handle into any
+// shard's slab — a packet dropped at a router one shard owns can wait
+// at a source node another shard owns without sharing arena state
+// (DESIGN.md §15). tryInject re-homes the copy into the injecting
+// shard's slab.
 type retxEntry struct {
-	pkt   *Packet
+	pkt   Packet
 	ready int64 // cycle the retransmission timer expires
 }
 
@@ -286,7 +292,13 @@ func (e *Engine) dropLinkTraffic(u, v *Router) {
 				if e.tel != nil {
 					e.tel.LinkRestitute(u.ID, v.ID, vc, e.pktFlits)
 				}
-				e.dropPacket(ent.pkt, u.ID, pu, vc)
+				// The entry's handle indexes the slab of the shard
+				// owning v (faultTick runs with every other worker
+				// parked at the barrier, so touching a foreign slab is
+				// safe here).
+				slab := e.slabFor(v)
+				e.dropPacket(slab.at(ent.h), u.ID, pu, vc)
+				slab.release(ent.h)
 			}
 		}
 		e.dropDeadOutput(u, pu, vc)
@@ -297,10 +309,13 @@ func (e *Engine) dropLinkTraffic(u, v *Router) {
 // sending every packet back to its source for retransmission.
 func (e *Engine) dropDeadOutput(r *Router, port, vc int) {
 	q := &r.outQ[r.idx(port, vc)]
+	slab := e.slabFor(r)
 	for !q.empty() {
 		ent := r.dequeueOut(port, vc)
 		r.outOcc[r.idx(port, vc)] -= e.pktFlits
-		e.dropPacket(ent.pkt, r.ID, port, vc)
+		r.occSum[port] -= e.pktFlits
+		e.dropPacket(slab.at(ent.h), r.ID, port, vc)
+		slab.release(ent.h)
 	}
 }
 
@@ -325,12 +340,15 @@ func (e *Engine) rebuildTables() {
 		if r.inCount == 0 {
 			continue
 		}
+		slab := e.slabFor(r)
 		for i := range r.inQ {
 			q := &r.inQ[i]
 			for j := 0; j < q.len(); j++ {
 				ent := q.at(j)
 				if ent.outPort >= 0 {
-					r.pendingOut[ent.outPort] -= ent.pkt.Flits
+					fl := slab.at(ent.h).Flits
+					r.pendingOut[ent.outPort] -= fl
+					r.occSum[ent.outPort] -= fl
 					ent.outPort = -1
 				}
 			}
@@ -388,7 +406,7 @@ func (e *Engine) dropPacket(p *Packet, router, port, vc int) {
 		shift = 16
 	}
 	nd := e.Net.Nodes[p.Src]
-	nd.retxQ = append(nd.retxQ, retxEntry{pkt: p, ready: e.now + int64(e.Cfg.RetxTimeout)<<shift})
+	nd.retxQ = append(nd.retxQ, retxEntry{pkt: *p, ready: e.now + int64(e.Cfg.RetxTimeout)<<shift})
 	// The pending retransmission is injection work: wake the node so
 	// the drain-phase injectStage revisits it when the timer expires.
 	nd.acts.node.set(nd.ID)
@@ -407,11 +425,11 @@ func (nd *Node) readyRetx(now int64) int {
 	return best
 }
 
-// takeRetx removes and returns the i-th retransmission entry.
-func (nd *Node) takeRetx(i int) *Packet {
-	p := nd.retxQ[i].pkt
+// takeRetx removes the i-th retransmission entry. Callers that need
+// the parked packet must copy it out first (the removal shifts the
+// slice).
+func (nd *Node) takeRetx(i int) {
 	nd.retxQ = append(nd.retxQ[:i], nd.retxQ[i+1:]...)
-	return p
 }
 
 // FaultStats summarizes the fault-injection activity of a run. All

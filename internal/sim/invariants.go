@@ -32,14 +32,33 @@ type engineCounts struct {
 //     exhaustive scan of the queues they summarize (the wake-list
 //     invariant of DESIGN.md §10).
 func (e *Engine) CheckInvariants() error {
-	return checkInvariants(e.Net, e.Cfg, engineCounts{
+	if err := checkInvariants(e.Net, e.Cfg, engineCounts{
 		generated:   e.generated,
 		injected:    e.injected,
 		retransmits: e.retransmits,
 		delivered:   e.delivered,
 		droppedPkts: e.droppedPkts,
 		retxWaiting: e.retxWaiting,
-	})
+	}); err != nil {
+		return err
+	}
+	if e.par == nil {
+		// Slab accounting (serial engines only — a shard's slab also
+		// holds packets the conservation counters attribute to other
+		// shards): every live arena slot is either source-queued or
+		// in the network (including the deliver ring); drops released
+		// their slot (the retx queue parks packets by value).
+		var queued int64
+		for _, nd := range e.Net.Nodes {
+			queued += int64(nd.srcQ.len())
+		}
+		want := queued + e.injected - e.delivered - e.droppedPkts
+		if live := int64(e.slab.live()); live != want {
+			return fmt.Errorf("sim: packet slab holds %d live slots, want %d (source-queued %d + in-network %d)",
+				live, want, queued, e.injected-e.delivered-e.droppedPkts)
+		}
+	}
+	return nil
 }
 
 // checkInvariants runs the full invariant sweep over a network given
@@ -131,6 +150,14 @@ func checkInvariants(net *Network, cfg Config, c engineCounts) error {
 			}
 			if r.pendingOut[port] < 0 {
 				return fmt.Errorf("sim: router %d port %d pendingOut %d < 0", r.ID, port, r.pendingOut[port])
+			}
+			want := r.pendingOut[port]
+			for vc := 0; vc < cfg.NumVCs; vc++ {
+				want += r.outOcc[r.idx(port, vc)]
+			}
+			if r.occSum[port] != want {
+				return fmt.Errorf("sim: router %d port %d occSum %d != pendingOut+outOcc %d",
+					r.ID, port, r.occSum[port], want)
 			}
 		}
 	}

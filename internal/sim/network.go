@@ -72,6 +72,14 @@ type Router struct {
 	// crossbar feeds it no faster than the link drains it; the
 	// backlog lives on the input side.
 	pendingOut []int
+
+	// occSum[port] caches pendingOut[port] + Σ_vc outOcc[port*nv+vc],
+	// the congestion signal OutOccupancy serves. Adaptive routing reads
+	// the signal for every candidate port of every routing decision, so
+	// it is maintained incrementally at the (few) mutation sites of
+	// pendingOut/outOcc instead of summed per query. CheckInvariants
+	// re-derives it from scratch and cross-checks.
+	occSum []int
 }
 
 // Network wires the topology into routers and nodes.
@@ -156,6 +164,7 @@ func NewNetwork(t topo.Topology, cfg Config) (*Network, error) {
 		rt.rrVC = make([]int, rt.nPorts)
 		rt.rrOut = make([]int, rt.nPorts)
 		rt.pendingOut = make([]int, rt.nPorts)
+		rt.occSum = make([]int, rt.nPorts)
 		rt.inPortPkts = make([]int, rt.nPorts)
 		rt.outPortPkts = make([]int, rt.nPorts)
 		rt.inMask = newBitset(rt.nPorts)
@@ -297,14 +306,7 @@ func (r *Router) NetPorts() int { return r.netPorts }
 // the reserved output-buffer occupancy plus the virtual-output-queue
 // load — flits in this router's input buffers already routed toward
 // the port.
-func (r *Router) OutOccupancy(port int) int {
-	s := r.pendingOut[port]
-	v := r.net.Cfg.NumVCs
-	for i := port * v; i < (port+1)*v; i++ {
-		s += r.outOcc[i]
-	}
-	return s
-}
+func (r *Router) OutOccupancy(port int) int { return r.occSum[port] }
 
 // OutBufferOccupancy returns only the output-buffer part of the
 // signal (exposed for analysis and ablations).
@@ -389,11 +391,11 @@ func (r *Router) dequeueOut(port, vc int) entry {
 
 // pushSrc appends a freshly generated packet to a node's source queue
 // and wakes the node for injection.
-func (n *Network) pushSrc(nd *Node, p *Packet) {
+func (n *Network) pushSrc(nd *Node, h pktHandle) {
 	if nd.srcQ.empty() {
 		nd.acts.srcBusy++
 	}
-	nd.srcQ.push(entry{pkt: p})
+	nd.srcQ.push(entry{h: h})
 	nd.acts.node.set(nd.ID)
 }
 

@@ -24,30 +24,70 @@ type Packet struct {
 	FirstDrop int64 // cycle of the first drop (valid when Retx > 0)
 }
 
-// Packet freelist. Ownership rules (DESIGN.md §10): a Packet belongs
-// to the engine from allocation in injectStage until deliver() runs
-// its last hook, at which point it returns to the pool; dropped
-// packets awaiting retransmission stay owned by their node's retxQ and
-// are never freed while queued. Nothing outside the engine may retain
-// a *Packet across cycles — hooks that need the data after delivery
-// (e.g. RouteRecorder) copy what they keep and key it by Packet.ID.
+// pktHandle addresses a live Packet inside an engine's slab. Handles
+// are engine-local: in a sharded run every handle stored in a shard's
+// queues, rings or mailboxes indexes that shard's own slab, and a
+// packet crossing a shard cut travels by value (the producer releases
+// its handle, the consumer allocates a fresh one). Ownership rules:
+// DESIGN.md §15.
+type pktHandle int32
 
-// allocPacket returns a zeroed Packet, recycling a delivered one when
-// the pool has stock.
-func (e *Engine) allocPacket() *Packet {
-	if n := len(e.pktFree); n > 0 {
-		p := e.pktFree[n-1]
-		e.pktFree = e.pktFree[:n-1]
-		*p = Packet{}
-		return p
-	}
-	return new(Packet)
+// pktSlab is a dense arena of Packet structs addressed by pktHandle.
+// Replacing the old *Packet freelist with index handles removes every
+// pointer from the per-cycle data structures (queue entries, event
+// rings, mailboxes are all integer-only), so the GC never scans the
+// simulation state and the hot stages chase one dense array instead of
+// scattered heap objects.
+//
+// Growth contract: alloc may grow the arena and relocate it, so a
+// *Packet obtained from at() must not be held across an alloc call.
+// The engine stages respect this by resolving handles immediately
+// before use and never allocating while a resolved pointer is live.
+type pktSlab struct {
+	arena []Packet
+	free  []pktHandle
 }
 
-// freePacket returns a delivered Packet to the pool. Callers must not
-// touch p afterwards.
-func (e *Engine) freePacket(p *Packet) {
-	e.pktFree = append(e.pktFree, p)
+// alloc returns a handle to a zeroed Packet, recycling a released slot
+// when the freelist has stock. The steady-state hot path allocates
+// nothing once the arena is warm.
+func (s *pktSlab) alloc() pktHandle {
+	if n := len(s.free); n > 0 {
+		h := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.arena[h] = Packet{}
+		return h
+	}
+	s.arena = append(s.arena, Packet{})
+	return pktHandle(len(s.arena) - 1)
+}
+
+// at resolves a handle; the pointer is valid only until the next alloc.
+func (s *pktSlab) at(h pktHandle) *Packet { return &s.arena[h] }
+
+// release returns a slot to the freelist. Callers must not use the
+// handle afterwards.
+func (s *pktSlab) release(h pktHandle) { s.free = append(s.free, h) }
+
+// live returns the number of slots currently allocated out of the
+// arena (used by the invariant sweep and the recycling tests).
+func (s *pktSlab) live() int { return len(s.arena) - len(s.free) }
+
+// pkt resolves a handle against this engine's slab (the common,
+// shard-local case; see slabFor for the fault injector's cross-shard
+// resolution at barriers).
+func (e *Engine) pkt(h pktHandle) *Packet { return e.slab.at(h) }
+
+// slabFor returns the slab owning the entries resident at router r.
+// For a serial engine (and for a shard's own routers) that is the
+// engine's slab; the fault injector, which runs on shard 0 at the
+// cycle barrier while every other worker is parked, uses it to resolve
+// and release handles held by routers other shards own.
+func (e *Engine) slabFor(r *Router) *pktSlab {
+	if e.par != nil && r.part != e.shard {
+		return &e.par.shards[r.part].slab
+	}
+	return &e.slab
 }
 
 // queue is a FIFO of buffer entries backed by a slice with an
@@ -58,12 +98,15 @@ type queue struct {
 }
 
 // entry is one packet resident in (or traversing toward) a buffer.
+// It is 16 bytes and pointer-free: the packet lives in the engine's
+// slab, and the cached switch-allocation decision is packed into two
+// int16 fields (a router's port count is far below 32k).
 type entry struct {
-	pkt   *Packet
-	ready int64 // cycle the head flit is present in this buffer
+	ready int64     // cycle the head flit is present in this buffer
+	h     pktHandle // slab handle of the resident packet
 	// Cached routing decision (switch allocation stage); -1 until set.
-	outPort int
-	outVC   int
+	outPort int16
+	outVC   int16
 }
 
 func (q *queue) empty() bool { return q.head >= len(q.items) }
@@ -77,9 +120,13 @@ func (q *queue) front() *entry { return &q.items[q.head] }
 
 func (q *queue) pop() entry {
 	e := q.items[q.head]
-	q.items[q.head] = entry{} // release references
 	q.head++
-	if q.head > 64 && q.head*2 >= len(q.items) {
+	if q.head == len(q.items) {
+		// Drained: rewind to the front of the backing array so the
+		// next push reuses warm slots instead of growing the tail.
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 >= len(q.items) {
 		n := copy(q.items, q.items[q.head:])
 		q.items = q.items[:n]
 		q.head = 0
@@ -100,7 +147,10 @@ func (q *queue) removeAt(i int) entry {
 	pos := q.head + i
 	e := q.items[pos]
 	copy(q.items[pos:], q.items[pos+1:])
-	q.items[len(q.items)-1] = entry{}
 	q.items = q.items[:len(q.items)-1]
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return e
 }

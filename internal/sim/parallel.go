@@ -58,21 +58,36 @@ type RemoteStateRouting interface {
 	ReadsRemoteState()
 }
 
-// pktMsg is a packet handoff crossing a shard boundary: enqueue ent at
-// (router, port, vc) of the destination shard.
+// pktMsg is a packet handoff crossing a shard boundary. Slab handles
+// never cross shards, so the packet travels by value: the producer
+// released its slot in linkStage, and the consumer re-homes the copy
+// into its own slab in applyMail before enqueueing at (router, port,
+// vc) with the given ready time.
 type pktMsg struct {
 	router int
 	port   int
 	vc     int
-	ent    entry
+	ready  int64
+	pkt    Packet
 }
 
-// evMsg is a delay-ring event crossing a shard boundary (only credit
-// returns do): the consumer schedules ev at its own current cycle plus
-// delay, which is the same absolute cycle the producer meant.
-type evMsg struct {
+// credMsg is a credit return crossing a shard boundary: the consumer
+// schedules the packed ref (see engine.go) on its own credit ring at
+// its current cycle plus delay, which is the same absolute cycle the
+// producer meant.
+type credMsg struct {
 	delay int64
-	ev    event
+	ref   uint64
+}
+
+// ParallelPreparable is an optional workload interface: workloads that
+// keep a serial fast path (plain counters, no synchronization) and a
+// sharded slow path (atomics) implement it to be told when the sharded
+// engine takes over. NewParallelEngine calls EnterParallel exactly
+// once, before any worker goroutine starts, so the switch
+// happens-before every concurrent NextPacket/Done call.
+type ParallelPreparable interface {
+	EnterParallel()
 }
 
 // ParallelOptions configures NewParallelEngine.
@@ -166,6 +181,9 @@ func NewParallelEngine(net *Network, alg RoutingAlgorithm, work Workload, opt Pa
 	if _, ok := alg.(RemoteStateRouting); ok {
 		return nil, fmt.Errorf("sim: algorithm %s reads remote router state, unsafe under sharding", alg.Name())
 	}
+	if pp, ok := work.(ParallelPreparable); ok {
+		pp.EnterParallel()
+	}
 	nr := len(net.Routers)
 	p := opt.Partitions
 	part := opt.RouterPartition
@@ -231,7 +249,7 @@ func NewParallelEngine(net *Network, alg RoutingAlgorithm, work Workload, opt Pa
 		e.rng = rand.New(rand.NewSource(shardSeed(net.Cfg.Seed, s, p)))
 		e.nextID = int64(s) << 44 // disjoint packet-ID ranges per shard
 		e.outPkt = make([][]pktMsg, p)
-		e.outEv = make([][]evMsg, p)
+		e.outCred = make([][]credMsg, p)
 		e.nodes = nil
 		pe.shards[s] = e
 	}
@@ -465,10 +483,12 @@ func (pe *ParallelEngine) globalDrained() bool {
 }
 
 // applyMail drains every producer's mailbox for shard s, in fixed
-// source-shard order so the destination queues see a deterministic
-// arrival order regardless of worker scheduling. The receiving shard's
-// clock still reads the producing cycle (advanceCycle runs after), so
-// event delays land on the absolute cycle the producer intended.
+// source-shard order so the destination queues — and the slab
+// allocation order, hence the handle/freelist state — see a
+// deterministic arrival order regardless of worker scheduling. The
+// receiving shard's clock still reads the producing cycle
+// (advanceCycle runs after), so credit delays land on the absolute
+// cycle the producer intended.
 func (pe *ParallelEngine) applyMail(s int) {
 	dst := pe.shards[s]
 	for src := range pe.shards {
@@ -476,14 +496,16 @@ func (pe *ParallelEngine) applyMail(s int) {
 		pkts := prod.outPkt[s]
 		for i := range pkts {
 			m := &pkts[i]
-			pe.Net.Routers[m.router].enqueueIn(m.port, m.vc, m.ent)
+			h := dst.slab.alloc()
+			*dst.slab.at(h) = m.pkt
+			pe.Net.Routers[m.router].enqueueIn(m.port, m.vc, entry{h: h, ready: m.ready, outPort: -1})
 		}
 		prod.outPkt[s] = pkts[:0]
-		evs := prod.outEv[s]
-		for i := range evs {
-			dst.schedule(evs[i].delay, evs[i].ev)
+		crs := prod.outCred[s]
+		for i := range crs {
+			dst.scheduleCredit(crs[i].delay, crs[i].ref)
 		}
-		prod.outEv[s] = evs[:0]
+		prod.outCred[s] = crs[:0]
 	}
 }
 

@@ -91,6 +91,66 @@ func TestQueueCompaction(t *testing.T) {
 	}
 }
 
+// TestQueueRemoveAtCompactionBoundary drives the interaction between
+// removeAt and pop's amortized head compaction (which fires only once
+// head > 64 and at least half the backing slice is dead). removeAt
+// indexes relative to head, so a compaction moving head back to 0 must
+// not change what removeAt(i) addresses — this walks the exact
+// boundary where the old and new head coexist within one sequence of
+// operations.
+func TestQueueRemoveAtCompactionBoundary(t *testing.T) {
+	var q queue
+	for i := 0; i < 130; i++ {
+		q.push(entry{ready: int64(i)})
+	}
+	// 64 pops leave head at 64: one below the compaction threshold.
+	for i := 0; i < 64; i++ {
+		if got := q.pop().ready; got != int64(i) {
+			t.Fatalf("pop %d = %d", i, got)
+		}
+	}
+	if q.head != 64 {
+		t.Fatalf("head = %d, want 64 (compaction fired early)", q.head)
+	}
+	// removeAt with a large head must address relative to the front.
+	if got := q.removeAt(3).ready; got != 67 {
+		t.Fatalf("removeAt(3) = %d, want 67", got)
+	}
+	// removeAt(0) delegates to pop, pushing head to 65 > 64 with
+	// head*2 = 130 >= len = 129: the compaction fires here.
+	if got := q.removeAt(0).ready; got != 64 {
+		t.Fatalf("removeAt(0) = %d, want 64", got)
+	}
+	if q.head != 0 {
+		t.Fatalf("head = %d after boundary pop, want 0 (compaction missed)", q.head)
+	}
+	// Survivors: 65, 66, 68..129 — order intact across the compaction,
+	// and removeAt keeps addressing from the (moved) front.
+	if got := q.removeAt(2).ready; got != 68 {
+		t.Fatalf("post-compaction removeAt(2) = %d, want 68", got)
+	}
+	want := []int64{65, 66}
+	for i := int64(69); i < 130; i++ {
+		want = append(want, i)
+	}
+	if q.len() != len(want) {
+		t.Fatalf("len = %d, want %d", q.len(), len(want))
+	}
+	for i, w := range want {
+		if got := q.at(i).ready; got != w {
+			t.Fatalf("at(%d) = %d, want %d", i, got, w)
+		}
+	}
+	for _, w := range want {
+		if got := q.pop().ready; got != w {
+			t.Fatalf("drain pop = %d, want %d", got, w)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
 // Property: any interleaving of pushes and ordered removals preserves
 // FIFO order of the survivors.
 func TestQuickQueueOrder(t *testing.T) {

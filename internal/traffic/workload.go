@@ -3,7 +3,6 @@ package traffic
 import (
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 )
 
 // OpenLoop adapts a Pattern into an open-loop Bernoulli workload: at
@@ -52,11 +51,11 @@ type Exchange struct {
 	msgs      [][]Message
 	remaining [][]int // packets left per message
 	rrMsg     []int   // round-robin cursor per node
-	// left counts packets still to inject across all nodes. It is
-	// atomic because sharded engines call NextPacket concurrently from
-	// different source nodes; all other mutable state is per-source and
-	// each source belongs to exactly one shard.
-	left  atomic.Int64
+	// left counts packets still to inject across all nodes. Sharded
+	// engines call NextPacket concurrently from different source nodes,
+	// so the counter goes atomic under EnterParallel; all other mutable
+	// state is per-source and each source belongs to exactly one shard.
+	left  countdown
 	total int64
 }
 
@@ -73,7 +72,7 @@ func NewExchange(label string, msgs [][]Message, interleave bool) *Exchange {
 			e.total += int64(m.Packets)
 		}
 	}
-	e.left.Store(e.total)
+	e.left.init(e.total)
 	return e
 }
 
@@ -94,7 +93,7 @@ func (e *Exchange) NextPacket(src int, _ int64, _ *rand.Rand) (int, bool) {
 			i := (e.rrMsg[src] + trial) % len(rem)
 			if rem[i] > 0 {
 				rem[i]--
-				e.left.Add(-1)
+				e.left.dec()
 				e.rrMsg[src] = (i + 1) % len(rem)
 				return e.msgs[src][i].Dst, true
 			}
@@ -104,7 +103,7 @@ func (e *Exchange) NextPacket(src int, _ int64, _ *rand.Rand) (int, bool) {
 	for i, r := range rem {
 		if r > 0 {
 			rem[i]--
-			e.left.Add(-1)
+			e.left.dec()
 			return e.msgs[src][i].Dst, true
 		}
 	}
@@ -112,11 +111,16 @@ func (e *Exchange) NextPacket(src int, _ int64, _ *rand.Rand) (int, bool) {
 }
 
 // Done implements sim.Workload.
-func (e *Exchange) Done() bool { return e.left.Load() == 0 }
+func (e *Exchange) Done() bool { return e.left.zero() }
 
 // ParallelSafe marks the workload safe for sharded engines
 // (sim.ParallelSafeWorkload); see the left field.
 func (e *Exchange) ParallelSafe() {}
+
+// EnterParallel implements sim.ParallelPreparable: the sharded engine
+// announces itself before starting workers, switching the
+// remaining-packet counter from its serial fast path to atomics.
+func (e *Exchange) EnterParallel() { e.left.enterParallel() }
 
 // AllToAll builds the A2A exchange of Section 4.4: every node sends
 // packetsPerPair packets to every other node. Following the optimized

@@ -1,0 +1,176 @@
+// Command benchgate compares a `go test -bench` output file against a
+// checked-in baseline and fails (exit 1) when any benchmark regresses
+// more than the threshold in ns/op.
+//
+// Cross-machine normalization: CI runners and developer machines
+// differ in absolute speed, so raw ns/op comparisons against a
+// checked-in baseline would gate on hardware, not code. benchgate
+// instead computes each benchmark's current/baseline ratio and
+// normalizes by the median ratio across all benchmarks — a uniformly
+// slower machine shifts every ratio equally and cancels out, while a
+// code regression concentrated in some benchmarks shows up as ratios
+// above the median. A benchmark fails the gate when its ratio exceeds
+// median * threshold.
+//
+// Usage:
+//
+//	go run ./scripts/benchgate -baseline .github/bench-baseline.txt -current out.txt
+//	go run ./scripts/benchgate -baseline .github/bench-baseline.txt -current out.txt -update
+//
+// With -update the current file replaces the baseline (after a
+// legitimate perf change; commit the result). Benchmarks present in
+// only one file are reported but do not fail the gate, so adding or
+// retiring cases does not require lockstep baseline updates.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line, e.g.
+// "BenchmarkEngineStep/SF/load=0.1-2  1500  33606 ns/op  29758 cycles/s".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse reads a -bench output file into name -> best (minimum) ns/op.
+// Minimum-of-counts is the standard noise reduction: external
+// interference only ever slows a run down.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := stripProcSuffix(m[1])
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if old, ok := best[name]; !ok || v < old {
+			best[name] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return best, nil
+}
+
+// stripProcSuffix drops the trailing -N GOMAXPROCS tag go test appends
+// to benchmark names, so baselines transfer across runner core counts.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "checked-in baseline file")
+	current := flag.String("current", "", "fresh go test -bench output")
+	threshold := flag.Float64("threshold", 1.10, "per-benchmark regression limit over the median ratio")
+	update := flag.Bool("update", false, "replace the baseline with the current file instead of gating")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	if *update {
+		data, err := os.ReadFile(*current)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baseline, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: baseline %s updated from %s\n", *baseline, *current)
+		return
+	}
+	base, err := parse(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := parse(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	type row struct {
+		name      string
+		base, cur float64
+		ratio     float64
+	}
+	var rows []row
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("  %-50s baseline-only (retired? run benchgate -update)\n", name)
+			continue
+		}
+		rows = append(rows, row{name, b, c, c / b})
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("  %-50s new benchmark (no baseline; run benchgate -update)\n", name)
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks in common between baseline and current")
+		os.Exit(2)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	ratios := make([]float64, len(rows))
+	for i, r := range rows {
+		ratios[i] = r.ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+
+	limit := median * *threshold
+	failed := 0
+	fmt.Printf("benchgate: %d benchmarks, machine-speed median ratio %.3f, per-benchmark limit %.3f\n",
+		len(rows), median, limit)
+	for _, r := range rows {
+		verdict := "ok"
+		if r.ratio > limit {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("  %-50s %12.0f -> %12.0f ns/op  ratio %.3f  %s\n",
+			r.name, r.base, r.cur, r.ratio, verdict)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%% beyond the machine-speed median\n",
+			failed, (*threshold-1)*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: pass")
+}
