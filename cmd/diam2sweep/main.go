@@ -17,6 +17,17 @@
 //	diam2sweep -fig resilience    # throughput vs. failed-link fraction
 //	diam2sweep -fig all           # every paper figure (not resilience)
 //
+// Screening tier: -screen answers the oblivious sweep grid with the
+// analytic fluid model instead of the simulator — thousands of
+// (topology, routing, pattern, load) points in seconds, stored under
+// their own fluid-tier keys. -screen-grid N densifies the offered-load
+// ladder to N evenly spaced loads. -escalate-band B then re-simulates
+// just the interesting neighborhoods (loads within B of the predicted
+// saturation, plus family-crossover brackets) at flit-level fidelity,
+// and -screen-check fails the run if any escalated point's fluid
+// estimate misses its recorded calibration tolerance (the CI smoke
+// gate). See EXPERIMENTS.md, "Screening tier".
+//
 // By default the sweep runs at "quick" scale (reduced instances and
 // run lengths, same code paths); pass -scale paper for the Section
 // 4.1 configurations — expect hours of CPU time for the full set.
@@ -109,6 +120,11 @@ func main() {
 		force     = flag.Bool("force", false, "with -store, recompute every point (fresh results still recorded)")
 		version   = flag.Bool("version", false, "print build/version info and exit")
 
+		screen      = flag.Bool("screen", false, "screening tier: answer the oblivious sweep grid analytically (fluid model) instead of regenerating a figure")
+		screenGrid  = flag.Int("screen-grid", 0, "with -screen, offered-load ladder size, evenly spaced in (0,1] (0: the default figure ladder)")
+		escBand     = flag.Float64("escalate-band", 0, "with -screen, re-simulate screened points within this relative band of their predicted saturation, plus family-crossover brackets (0: screen only)")
+		screenCheck = flag.Bool("screen-check", false, "with -screen and -escalate-band, fail if any escalated point's fluid estimate misses its recorded calibration tolerance")
+
 		campaignOn = flag.Bool("campaign", false, "join -store as one of several cooperating worker processes (leases, heartbeats, retries; see README, \"Distributed campaigns\")")
 		workerID   = flag.String("worker-id", "", "campaign worker ID, unique per live worker (default: host-pid)")
 		leaseTTL   = flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "campaign lease time-to-live: a worker silent this long loses its points to the others")
@@ -131,8 +147,12 @@ func main() {
 		fmt.Printf("engine schema %d, store schema %d\n", sim.EngineSchema, store.Schema)
 		return
 	}
-	if *fig == "" {
+	if *fig == "" && !*screen {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *fig != "" && *screen {
+		fmt.Fprintln(os.Stderr, "diam2sweep: -screen replaces -fig (the screening tier covers the whole oblivious grid); pass one or the other")
 		os.Exit(2)
 	}
 	if *campaignOn {
@@ -167,7 +187,13 @@ func main() {
 		retries:  *retries,
 		backoff:  *backoffD,
 	}
-	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *cores, *progress, tel, *storeDir, *force, camp)
+	scr := screenOpts{
+		enabled: *screen,
+		band:    *escBand,
+		grid:    *screenGrid,
+		check:   *screenCheck,
+	}
+	runErr := run(ctx, *fig, *scaleName, *seed, *plotDir, *ascii, *csvDir, *jobs, *cores, *progress, tel, *storeDir, *force, camp, scr)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "diam2sweep:", err)
 		os.Exit(1)
@@ -191,7 +217,7 @@ type campaignOpts struct {
 	retries                     int
 }
 
-func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string, jobs, cores int, progress bool, tel telOpts, storeDir string, force bool, camp campaignOpts) error {
+func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string, ascii bool, csvDir string, jobs, cores int, progress bool, tel telOpts, storeDir string, force bool, camp campaignOpts, scr screenOpts) error {
 	for _, dir := range []string{plotDir, csvDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -360,6 +386,13 @@ func run(ctx context.Context, fig, scaleName string, seed int64, plotDir string,
 		}
 		fmt.Fprintln(os.Stderr, "diam2sweep:", summary)
 	}()
+
+	if scr.enabled {
+		if err := runScreen(sc, presets, scr, csvDir); err != nil {
+			return err
+		}
+		return tel.finish(sink)
+	}
 
 	// Preset lookup by family for the per-topology adaptive figures.
 	byFamily := map[string]harness.Preset{}

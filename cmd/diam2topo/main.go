@@ -16,15 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"diam2/internal/buildinfo"
-	"diam2/internal/fluid"
 	"diam2/internal/harness"
 	"diam2/internal/partition"
 	"diam2/internal/topo"
-	"diam2/internal/traffic"
 	"diam2/internal/viz"
 )
 
@@ -85,33 +82,12 @@ func main() {
 }
 
 // fluidTable prints analytic saturation loads (Section 4.2/4.3
-// predictions without simulation).
+// predictions without simulation) via the shared harness helper, the
+// same table diam2report embeds.
 func fluidTable(seed int64) error {
-	t := &harness.Table{
-		Title:  "Fluid-model saturation loads (analytic; fraction of injection bandwidth)",
-		Header: []string{"topology", "UNI MIN", "WC MIN", "WC INR"},
-	}
-	for _, p := range harness.PaperPresets() {
-		tp, err := p.Build()
-		if err != nil {
-			return err
-		}
-		model := fluid.New(tp)
-		uni := model.MinimalUniform().Saturation()
-		wc, err := traffic.WorstCase(tp, rand.New(rand.NewSource(seed)))
-		if err != nil {
-			return err
-		}
-		minLoads, err := model.MinimalPermutation(wc)
-		if err != nil {
-			return err
-		}
-		inrLoads, err := model.ValiantPermutation(wc)
-		if err != nil {
-			return err
-		}
-		t.AddRow(p.Name, fmt.Sprintf("%.3f", uni), fmt.Sprintf("%.3f", minLoads.Saturation()),
-			fmt.Sprintf("%.3f", inrLoads.Saturation()))
+	t, err := harness.FluidSaturationTable(harness.PaperPresets(), seed)
+	if err != nil {
+		return err
 	}
 	return t.Render(os.Stdout)
 }

@@ -10,6 +10,7 @@ package fluid
 
 import (
 	"fmt"
+	"sort"
 
 	"diam2/internal/graph"
 	"diam2/internal/topo"
@@ -23,6 +24,9 @@ type Model struct {
 	dist [][]int
 	// cnt[u][v] = number of minimal u->v paths.
 	cnt [][]float64
+	// connErr records (once, at New) whether any endpoint-router pair
+	// is unreachable; see Check in estimate.go.
+	connErr error
 }
 
 // New builds the model (O(R^2) memory; fine at topology scale).
@@ -65,6 +69,15 @@ func New(tp topo.Topology) *Model {
 			}
 		}
 		_ = order
+	}
+	eps := tp.EndpointRouters()
+	for _, u := range eps {
+		for _, v := range eps {
+			if m.dist[u][v] < 0 {
+				m.connErr = fmt.Errorf("%w: no path between routers %d and %d", ErrDisconnected, u, v)
+				return m
+			}
+		}
 	}
 	return m
 }
@@ -137,6 +150,38 @@ func (m *Model) MinimalUniform() LinkLoads {
 	return loads
 }
 
+// ValiantUniform computes link loads for global uniform traffic under
+// indirect random routing. Rather than loop over every
+// (source, destination, intermediate) router triple, it aggregates the
+// two minimal legs per directed router pair first: with E endpoint
+// routers and every flow excluding its own source and destination as
+// intermediates, the leg rate of the ordered pair (a,b) sums to
+// rate * (p(a)+p(b)) * (N - p(a) - p(b)) / (E-2), which reduces the
+// triple loop to the same O(E^2) spreading pass MinimalUniform does.
+func (m *Model) ValiantUniform() LinkLoads {
+	eps := m.tp.EndpointRouters()
+	if len(eps) < 3 {
+		// No third router to bounce through: INR degenerates to MIN.
+		return m.MinimalUniform()
+	}
+	loads := LinkLoads{}
+	n := float64(m.tp.Nodes())
+	rate := 1.0 / (n - 1)
+	denom := float64(len(eps) - 2)
+	for _, a := range eps {
+		pa := float64(len(m.tp.RouterNodes(a)))
+		for _, b := range eps {
+			if a == b {
+				continue
+			}
+			pb := float64(len(m.tp.RouterNodes(b)))
+			w := rate * (pa + pb) * (n - pa - pb) / denom
+			m.addFlow(loads, a, b, w)
+		}
+	}
+	return loads
+}
+
 // ValiantPermutation computes link loads for a permutation under
 // indirect random routing: each flow splits uniformly over the
 // eligible intermediates, routing minimally on both legs.
@@ -178,6 +223,36 @@ func (m *Model) ValiantPermutation(perm traffic.Permutation) (LinkLoads, error) 
 		}
 	}
 	return loads, nil
+}
+
+// sortedLinks returns the directed links in lexicographic order.
+// Float summations over LinkLoads iterate this order, not the map's:
+// map iteration order varies per run, and float addition is not
+// associative, so summing in map order would break the harness's
+// byte-identical determinism contract in the last bit.
+func (l LinkLoads) sortedLinks() [][2]int {
+	links := make([][2]int, 0, len(l))
+	for k := range l {
+		links = append(links, k)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	return links
+}
+
+// Sum returns the total load over all directed links. By flow
+// conservation this equals the rate-weighted path length of the
+// traffic, which is how the screening tier derives mean hop counts.
+func (l LinkLoads) Sum() float64 {
+	var s float64
+	for _, k := range l.sortedLinks() {
+		s += l[k]
+	}
+	return s
 }
 
 // MaxLoad returns the highest directed-link load.

@@ -46,9 +46,12 @@ func (l *LatencyModel) AvgLatency(loads LinkLoads, avgHops float64, x float64) f
 	}
 	// Mean queueing delay per traversed link, weighted by link usage:
 	// average over links of rho/(2(1-rho)) with rho = x * relative
-	// load, weighted by the link's share of total flow.
+	// load, weighted by the link's share of total flow. Links iterate
+	// in sorted order so the sum is bit-identical across runs (see
+	// LinkLoads.sortedLinks).
 	var total, wsum float64
-	for _, rel := range loads {
+	for _, link := range loads.sortedLinks() {
+		rel := loads[link]
 		rho := x * rel
 		w := rel // links carrying more flow are traversed by more packets
 		total += w * rho / (2 * (1 - rho))

@@ -43,6 +43,13 @@ type Scale struct {
 	// telemetry layer (see telemetry.go); the zero value attaches
 	// nothing and leaves the engine's hot path untouched.
 	Telemetry TelemetryPlan
+	// Tier names the result tier every stored point at this scale is
+	// keyed under: store.TierSim (the zero value; flit-level
+	// simulation) or store.TierFluid (analytic screening estimates).
+	// ScreenSweep sets it; ordinary sweeps leave it empty, so analytic
+	// and simulated answers for the same point key never alias in the
+	// experiment store.
+	Tier string
 	// Cores > 1 runs every engine at this scale as a sharded
 	// sim.ParallelEngine with Cores partitions and Cores workers.
 	// This is orthogonal to Sched's worker count (-j): -j fans a

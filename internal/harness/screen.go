@@ -1,0 +1,617 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"diam2/internal/fluid"
+	"diam2/internal/store"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+)
+
+// This file is the screening tier: the fluid model promoted to a
+// first-class experiment generator. ScreenSweep answers a full
+// (topology, routing, pattern, load) grid analytically — thousands of
+// points in seconds — through the same scheduler every simulated sweep
+// uses, so -j fan-out, progress reporting, cancellation and the
+// content-addressed store come for free; results are keyed under
+// store.TierFluid so they never alias flit-level results.
+// SelectEscalations then picks the neighborhoods where analytic
+// fidelity runs out — loads within a band of the predicted saturation,
+// plus loads where two topology families swap throughput ranking — and
+// EscalateSweep re-runs exactly those points at flit-level fidelity,
+// checking each against the calibration tolerances recorded in
+// fluid.Scenarios. Calibrate maintains those tolerances: it pins the
+// fluid saturation estimate against the simulator's delivered plateau
+// for all nine golden scenarios.
+
+// Screening-tier counters, mirroring the cycle accounting in
+// profile.go: estimates answered analytically and points escalated to
+// the simulator, across all scheduler workers.
+var (
+	screenEstimates atomic.Int64
+	screenEscalated atomic.Int64
+)
+
+// ScreenedEstimates returns the analytic estimates answered by this
+// process so far.
+func ScreenedEstimates() int64 { return screenEstimates.Load() }
+
+// EscalatedPoints returns the screened points this process re-ran at
+// flit-level fidelity.
+func EscalatedPoints() int64 { return screenEscalated.Load() }
+
+// ScreenPoint is one answered screening point: the grid coordinates
+// plus the fluid model's estimate. It is the store payload of the
+// fluid tier, so every field must survive a JSON round trip.
+type ScreenPoint struct {
+	Topo   string // topology instance, e.g. "SF(q=5,p=3)"
+	Family string // topology family: "SF", "MLFM", "OFT", ...
+	Alg    string // routing: "MIN" or "INR"
+	Pat    string // pattern: "UNI" or "WC"
+	fluid.Estimate
+}
+
+// ScreenSpec selects the grid a screening sweep covers. Zero-value
+// fields fall back to the full oblivious grid: MIN and INR, UNI and
+// WC, the DefaultLoads ladder.
+type ScreenSpec struct {
+	Algs  []AlgKind
+	Pats  []PatternKind
+	Loads []float64
+}
+
+func (s ScreenSpec) withDefaults() ScreenSpec {
+	if len(s.Algs) == 0 {
+		s.Algs = []AlgKind{AlgMIN, AlgINR}
+	}
+	if len(s.Pats) == 0 {
+		s.Pats = []PatternKind{PatUNI, PatWC}
+	}
+	if len(s.Loads) == 0 {
+		s.Loads = DefaultLoads()
+	}
+	return s
+}
+
+// ScreenGridLoads returns n evenly spaced offered loads in (0, 1] —
+// the dense ladders that make screening worthwhile (a 90-load grid
+// over 3 presets x 2 algorithms x 2 patterns is a 1080-point sweep the
+// fluid model answers in seconds).
+func ScreenGridLoads(n int) []float64 {
+	loads := make([]float64, n)
+	for i := range loads {
+		loads[i] = float64(i+1) / float64(n)
+	}
+	return loads
+}
+
+// fluidRouting maps a harness algorithm kind to its analytic
+// counterpart; adaptive kinds have none (see fluid.ErrUnsupportedRouting).
+func fluidRouting(kind AlgKind) (fluid.Routing, error) {
+	switch kind {
+	case AlgMIN:
+		return fluid.RoutingMinimal, nil
+	case AlgINR:
+		return fluid.RoutingValiant, nil
+	}
+	return 0, fmt.Errorf("%w: %s", fluid.ErrUnsupportedRouting, kind)
+}
+
+// fluidPattern maps a harness pattern kind to the analytic one.
+func fluidPattern(pat PatternKind) fluid.Pattern {
+	if pat == PatUNI {
+		return fluid.PatternUniform
+	}
+	return fluid.PatternWorstCase
+}
+
+// Family names the topology family of a preset: "SF" for Slim Fly
+// style presets, otherwise the name up to the parameter list
+// ("MLFM(h=6)" -> "MLFM").
+func (p Preset) Family() string {
+	if p.SFStyle {
+		return "SF"
+	}
+	if i := strings.IndexByte(p.Name, '('); i > 0 {
+		return p.Name[:i]
+	}
+	return p.Name
+}
+
+// screenCombo lazily computes the load-independent link loads of one
+// (topology, routing, pattern) combination, shared by every load of
+// its ladder whichever worker gets there first.
+type screenCombo struct {
+	once  sync.Once
+	loads fluid.LinkLoads
+	hops  float64
+	err   error
+}
+
+// ScreenSweep answers the spec's grid over the presets analytically.
+// Each (topology, algorithm, pattern, load) tuple is one scheduler
+// point — fanned out by scale.Sched, reported to scale.Sched.OnPoint,
+// and stored (when scale.Sched.Store is set) under the fluid tier —
+// while the link-load computation is shared across each combination's
+// load ladder. Results arrive in grid order: presets outermost, then
+// algorithms, patterns, loads.
+func ScreenSweep(presets []Preset, spec ScreenSpec, scale Scale) ([]ScreenPoint, error) {
+	spec = spec.withDefaults()
+	for _, alg := range spec.Algs {
+		if _, err := fluidRouting(alg); err != nil {
+			return nil, err
+		}
+	}
+	scale.Tier = store.TierFluid
+	cfg := scale.SimConfig(1)
+	reg := scale.Telemetry.Registry
+	var points []Point[ScreenPoint]
+	for _, p := range presets {
+		tp, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		model := fluid.New(tp)
+		var wc *traffic.Permutation
+		for _, pat := range spec.Pats {
+			if pat == PatWC {
+				perm, err := traffic.WorstCase(tp, rand.New(rand.NewSource(scale.patternSeed())))
+				if err != nil {
+					return nil, err
+				}
+				wc = &perm
+				break
+			}
+		}
+		family := p.Family()
+		for _, alg := range spec.Algs {
+			rt, _ := fluidRouting(alg)
+			for _, pat := range spec.Pats {
+				combo := &screenCombo{}
+				fpat := fluidPattern(pat)
+				topoName, algName, patName := p.Name, alg.String(), pat.String()
+				for _, load := range spec.Loads {
+					load := load
+					points = append(points, Point[ScreenPoint]{
+						Key: fmt.Sprintf("screen|%s|%s|%s|load=%.4f", topoName, algName, patName, load),
+						Run: func(ctx context.Context, seed int64) (ScreenPoint, error) {
+							combo.once.Do(func() {
+								combo.loads, combo.hops, combo.err = model.Loads(fpat, rt, wc)
+							})
+							if combo.err != nil {
+								return ScreenPoint{}, combo.err
+							}
+							screenEstimates.Add(1)
+							reg.AddScreen(1, 0)
+							return ScreenPoint{
+								Topo:     topoName,
+								Family:   family,
+								Alg:      algName,
+								Pat:      patName,
+								Estimate: model.EstimateAt(combo.loads, combo.hops, load, cfg),
+							}, nil
+						},
+					})
+				}
+			}
+		}
+	}
+	return Collect(scale, points)
+}
+
+// Escalation reasons.
+const (
+	ReasonBand      = "band"      // offered load within the band around the predicted saturation
+	ReasonCrossover = "crossover" // throughput ranking between families flips here
+)
+
+// EscalationPick is one screened point selected for flit-level
+// re-simulation, with the reason(s) it was picked.
+type EscalationPick struct {
+	Point   ScreenPoint
+	Reasons []string // ReasonBand and/or ReasonCrossover
+}
+
+// SelectEscalations picks the screened points worth the simulator's
+// time: every point whose offered load falls within band (a relative
+// fraction, e.g. 0.15) of its predicted saturation load — the region
+// where the fluid model's open-loop abstraction is least trustworthy —
+// plus the points bracketing a family crossover: two topologies of
+// different families swapping predicted-throughput ranking between
+// consecutive loads of the same (algorithm, pattern) ladder, where
+// which family "wins" is exactly the question a screening user asks
+// the simulator to settle. Picks preserve the input order and carry
+// every reason that selected them.
+func SelectEscalations(points []ScreenPoint, band float64) []EscalationPick {
+	reasons := make(map[int][]string)
+	add := func(i int, reason string) {
+		for _, r := range reasons[i] {
+			if r == reason {
+				return
+			}
+		}
+		reasons[i] = append(reasons[i], reason)
+	}
+	if band > 0 {
+		for i, p := range points {
+			if p.Saturation > 0 && math.Abs(p.Load-p.Saturation) <= band*p.Saturation {
+				add(i, ReasonBand)
+			}
+		}
+	}
+	// Crossovers: index points by (alg, pat, topo) -> load ladder, then
+	// compare every cross-family topology pair load by load.
+	type ladderKey struct{ alg, pat, topo string }
+	ladders := make(map[ladderKey][]int)
+	var order []ladderKey
+	for i, p := range points {
+		k := ladderKey{p.Alg, p.Pat, p.Topo}
+		if _, ok := ladders[k]; !ok {
+			order = append(order, k)
+		}
+		ladders[k] = append(ladders[k], i)
+	}
+	for ai, ka := range order {
+		for _, kb := range order[ai+1:] {
+			if ka.alg != kb.alg || ka.pat != kb.pat || ka.topo == kb.topo {
+				continue
+			}
+			la, lb := ladders[ka], ladders[kb]
+			if points[la[0]].Family == points[lb[0]].Family {
+				continue
+			}
+			// Walk the loads the two ladders share, in load order.
+			type pair struct{ ia, ib int }
+			byLoad := make(map[float64]pair)
+			for _, i := range la {
+				byLoad[points[i].Load] = pair{ia: i, ib: -1}
+			}
+			for _, i := range lb {
+				if pr, ok := byLoad[points[i].Load]; ok {
+					pr.ib = i
+					byLoad[points[i].Load] = pr
+				}
+			}
+			loads := make([]float64, 0, len(byLoad))
+			for l, pr := range byLoad {
+				if pr.ib >= 0 {
+					loads = append(loads, l)
+				}
+			}
+			sort.Float64s(loads)
+			for li := 1; li < len(loads); li++ {
+				prev, cur := byLoad[loads[li-1]], byLoad[loads[li]]
+				dPrev := points[prev.ia].Throughput - points[prev.ib].Throughput
+				dCur := points[cur.ia].Throughput - points[cur.ib].Throughput
+				if dPrev*dCur < 0 {
+					add(prev.ia, ReasonCrossover)
+					add(prev.ib, ReasonCrossover)
+					add(cur.ia, ReasonCrossover)
+					add(cur.ib, ReasonCrossover)
+				}
+			}
+		}
+	}
+	idx := make([]int, 0, len(reasons))
+	for i := range reasons {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	picks := make([]EscalationPick, 0, len(idx))
+	for _, i := range idx {
+		sort.Strings(reasons[i])
+		picks = append(picks, EscalationPick{Point: points[i], Reasons: reasons[i]})
+	}
+	return picks
+}
+
+// Escalation is one pick re-run at flit-level fidelity, with the
+// fluid-versus-simulator disagreement and its verdict against the
+// recorded calibration tolerance.
+type Escalation struct {
+	Pick EscalationPick
+	Sim  LoadPoint // simulator answer at the pick's offered load
+	// RelErr is |fluid throughput - sim throughput| / sim throughput.
+	RelErr float64
+	// Tolerance is the recorded calibration tolerance for the pick's
+	// (family, pattern, routing) scenario; Recorded is false (and
+	// Within meaningless) when no scenario covers it.
+	Tolerance float64
+	Recorded  bool
+	Within    bool
+}
+
+// parseAlgKind inverts AlgKind.String for the kinds screening emits.
+func parseAlgKind(s string) (AlgKind, error) {
+	switch s {
+	case "MIN":
+		return AlgMIN, nil
+	case "INR":
+		return AlgINR, nil
+	}
+	return 0, fmt.Errorf("harness: unknown screening algorithm %q", s)
+}
+
+// parsePatternKind inverts PatternKind.String.
+func parsePatternKind(s string) (PatternKind, error) {
+	switch s {
+	case "UNI":
+		return PatUNI, nil
+	case "WC":
+		return PatWC, nil
+	}
+	return 0, fmt.Errorf("harness: unknown screening pattern %q", s)
+}
+
+// EscalateSweep re-runs the picked points through the flit-level
+// simulator (ordinary sim-tier store keys, prefixed "escalate|" so
+// they never collide with figure sweeps) and scores each against its
+// fluid estimate. presets must cover every topology the picks name.
+func EscalateSweep(picks []EscalationPick, presets []Preset, scale Scale) ([]Escalation, error) {
+	byName := make(map[string]Preset, len(presets))
+	for _, p := range presets {
+		byName[p.Name] = p
+	}
+	topos := make(map[string]topo.Topology)
+	reg := scale.Telemetry.Registry
+	points := make([]Point[LoadPoint], 0, len(picks))
+	for _, pick := range picks {
+		preset, ok := byName[pick.Point.Topo]
+		if !ok {
+			return nil, fmt.Errorf("harness: escalation names topology %s outside the preset set", pick.Point.Topo)
+		}
+		tp, ok := topos[preset.Name]
+		if !ok {
+			var err error
+			tp, err = preset.Build()
+			if err != nil {
+				return nil, err
+			}
+			topos[preset.Name] = tp
+		}
+		alg, err := parseAlgKind(pick.Point.Alg)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := parsePatternKind(pick.Point.Pat)
+		if err != nil {
+			return nil, err
+		}
+		load := pick.Point.Load
+		points = append(points, Point[LoadPoint]{
+			Key: fmt.Sprintf("escalate|%s|%s|%s|load=%.4f", preset.Name, alg, pat, load),
+			Run: func(ctx context.Context, seed int64) (LoadPoint, error) {
+				res, err := RunSynthetic(tp, alg, preset.BestAdaptive, pat, load, scale.forPoint(ctx, seed))
+				if err != nil {
+					return LoadPoint{}, err
+				}
+				screenEscalated.Add(1)
+				reg.AddScreen(0, 1)
+				return LoadPoint{Load: load, Throughput: res.Throughput, AvgLatency: res.AvgLatency}, nil
+			},
+		})
+	}
+	sims, err := Collect(scale, points)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Escalation, len(picks))
+	for i, pick := range picks {
+		rt, _ := fluidRouting(mustAlg(pick.Point.Alg))
+		tol, recorded := fluid.ToleranceFor(pick.Point.Family, fluidPattern(mustPat(pick.Point.Pat)), rt)
+		rel := math.Inf(1)
+		if sims[i].Throughput > 0 {
+			rel = math.Abs(pick.Point.Throughput-sims[i].Throughput) / sims[i].Throughput
+		}
+		out[i] = Escalation{
+			Pick:      pick,
+			Sim:       sims[i],
+			RelErr:    rel,
+			Tolerance: tol,
+			Recorded:  recorded,
+			Within:    recorded && rel <= tol,
+		}
+	}
+	return out, nil
+}
+
+// mustAlg/mustPat re-parse strings already validated by EscalateSweep's
+// point-construction loop.
+func mustAlg(s string) AlgKind {
+	k, _ := parseAlgKind(s)
+	return k
+}
+
+func mustPat(s string) PatternKind {
+	k, _ := parsePatternKind(s)
+	return k
+}
+
+// Calibrate pins the fluid model against the simulator: for each of
+// the nine golden scenarios (fluid.Scenarios) it computes the analytic
+// saturation estimate and the simulator's delivered-throughput plateau
+// at full offered load on the first preset of the scenario's family,
+// and scores the relative disagreement against the scenario's recorded
+// tolerance. The simulator side runs through the scheduler (sim-tier
+// "calibrate|" keys), so calibration is resumable and -j-parallel like
+// any sweep. Every scenario family must have a preset, or the gate
+// would silently shrink.
+func Calibrate(presets []Preset, scale Scale) ([]fluid.Calibration, error) {
+	type famState struct {
+		preset Preset
+		tp     topo.Topology
+		model  *fluid.Model
+		wc     *traffic.Permutation
+	}
+	fams := make(map[string]*famState)
+	for _, p := range presets {
+		if _, ok := fams[p.Family()]; ok {
+			continue
+		}
+		fams[p.Family()] = &famState{preset: p}
+	}
+	cfg := scale.SimConfig(1)
+	scens := fluid.Scenarios()
+	fluidSats := make([]float64, len(scens))
+	points := make([]Point[LoadPoint], 0, len(scens))
+	for i, s := range scens {
+		fs, ok := fams[s.Family]
+		if !ok {
+			return nil, fmt.Errorf("harness: calibration scenario %s has no preset of family %s", s.Name(), s.Family)
+		}
+		if fs.tp == nil {
+			tp, err := fs.preset.Build()
+			if err != nil {
+				return nil, err
+			}
+			fs.tp = tp
+			fs.model = fluid.New(tp)
+			perm, err := traffic.WorstCase(tp, rand.New(rand.NewSource(scale.patternSeed())))
+			if err != nil {
+				return nil, err
+			}
+			fs.wc = &perm
+		}
+		est, err := fs.model.Evaluate(s.Pattern, s.Routing, fs.wc, 1.0, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fluidSats[i] = est.Saturation
+		var alg AlgKind
+		if s.Routing == fluid.RoutingValiant {
+			alg = AlgINR
+		} else {
+			alg = AlgMIN
+		}
+		var pat PatternKind
+		if s.Pattern == fluid.PatternWorstCase {
+			pat = PatWC
+		} else {
+			pat = PatUNI
+		}
+		tp, preset := fs.tp, fs.preset
+		points = append(points, Point[LoadPoint]{
+			Key: fmt.Sprintf("calibrate|%s|%s|%s|load=1.0000", preset.Name, alg, pat),
+			Run: func(ctx context.Context, seed int64) (LoadPoint, error) {
+				res, err := RunSynthetic(tp, alg, preset.BestAdaptive, pat, 1.0, scale.forPoint(ctx, seed))
+				if err != nil {
+					return LoadPoint{}, err
+				}
+				return LoadPoint{Load: 1.0, Throughput: res.Throughput, AvgLatency: res.AvgLatency}, nil
+			},
+		})
+	}
+	sims, err := Collect(scale, points)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fluid.Calibration, len(scens))
+	for i, s := range scens {
+		out[i] = s.Compare(fams[s.Family].preset.Name, fluidSats[i], sims[i].Throughput)
+	}
+	return out, nil
+}
+
+// ScreenTable summarizes a screening sweep one row per (topology,
+// algorithm, pattern) combination — the load-independent analytic
+// facts, plus the ladder size.
+func ScreenTable(points []ScreenPoint) *Table {
+	t := &Table{
+		Title:  "Screening tier: fluid-model estimates",
+		Header: []string{"topology", "routing", "pattern", "saturation", "max link load", "avg hops", "loads"},
+	}
+	type comboKey struct{ topo, alg, pat string }
+	counts := make(map[comboKey]int)
+	var order []comboKey
+	rep := make(map[comboKey]ScreenPoint)
+	for _, p := range points {
+		k := comboKey{p.Topo, p.Alg, p.Pat}
+		if _, ok := counts[k]; !ok {
+			order = append(order, k)
+			rep[k] = p
+		}
+		counts[k]++
+	}
+	for _, k := range order {
+		p := rep[k]
+		t.AddRow(k.topo, k.alg, k.pat, f3(p.Saturation), f3(p.MaxLinkLoad), f2(p.AvgHops), d(counts[k]))
+	}
+	return t
+}
+
+// EscalationTable renders an escalation pass: each simulated point
+// against its fluid prediction and calibration verdict.
+func EscalationTable(escs []Escalation) *Table {
+	t := &Table{
+		Title:  "Escalated points: fluid estimate vs. flit-level simulation",
+		Header: []string{"topology", "routing", "pattern", "load", "reason", "fluid thr", "sim thr", "rel err", "tolerance", "within"},
+	}
+	for _, e := range escs {
+		tol, within := "-", "-"
+		if e.Recorded {
+			tol = f3(e.Tolerance)
+			within = fmt.Sprintf("%v", e.Within)
+		}
+		p := e.Pick.Point
+		t.AddRow(p.Topo, p.Alg, p.Pat, f3(p.Load), strings.Join(e.Pick.Reasons, "+"),
+			f3(p.Throughput), f3(e.Sim.Throughput), f3(e.RelErr), tol, within)
+	}
+	return t
+}
+
+// CalibrationTable renders a calibration pass.
+func CalibrationTable(cals []fluid.Calibration) *Table {
+	t := &Table{
+		Title:  "Fluid-model calibration against simulator goldens",
+		Header: []string{"scenario", "topology", "fluid sat", "sim sat", "rel err", "tolerance", "within"},
+	}
+	for _, c := range cals {
+		t.AddRow(c.Name(), c.Topo, f3(c.FluidSat), f3(c.SimSat), f3(c.RelErr), f3(c.Tolerance), fmt.Sprintf("%v", c.Within))
+	}
+	return t
+}
+
+// FluidSaturationTable is the shared analytic saturation summary
+// rendered by both diam2topo -fluid and diam2report: the Section
+// 4.2/4.3 saturation predictions for each preset under the three
+// oblivious combinations, without simulation. seed pins the worst-case
+// permutation draw.
+func FluidSaturationTable(presets []Preset, seed int64) (*Table, error) {
+	t := &Table{
+		Title:  "Fluid-model saturation loads (analytic; fraction of injection bandwidth)",
+		Header: []string{"topology", "UNI MIN", "WC MIN", "WC INR"},
+	}
+	for _, p := range presets {
+		tp, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		model := fluid.New(tp)
+		wc, err := traffic.WorstCase(tp, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		uni, _, err := model.Loads(fluid.PatternUniform, fluid.RoutingMinimal, nil)
+		if err != nil {
+			return nil, err
+		}
+		wcMin, _, err := model.Loads(fluid.PatternWorstCase, fluid.RoutingMinimal, &wc)
+		if err != nil {
+			return nil, err
+		}
+		wcInr, _, err := model.Loads(fluid.PatternWorstCase, fluid.RoutingValiant, &wc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.Name, f3(uni.Saturation()), f3(wcMin.Saturation()), f3(wcInr.Saturation()))
+	}
+	return t, nil
+}

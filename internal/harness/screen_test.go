@@ -1,0 +1,497 @@
+package harness
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"diam2/internal/fluid"
+	"diam2/internal/store"
+)
+
+// quickScreenSpec keeps screening tests fast: one short ladder.
+func quickScreenSpec() ScreenSpec {
+	return ScreenSpec{Loads: []float64{0.1, 0.5, 1.0}}
+}
+
+// TestScreenSweepClosedForms: the screening tier recovers the Section
+// 4.2 worst-case saturation bounds on the reduced instances, covers
+// the full grid in grid order, and reports saturated uniform traffic
+// near full bandwidth.
+func TestScreenSweepClosedForms(t *testing.T) {
+	sc := QuickScale()
+	presets := SmallPresets()
+	spec := quickScreenSpec()
+	points, err := ScreenSweep(presets, spec, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := len(presets) * 2 * 2 * len(spec.Loads)
+	if len(points) != wantLen {
+		t.Fatalf("got %d points, want %d", len(points), wantLen)
+	}
+	// Closed forms: worst-case MIN saturation is 1/(2p) for SF (p=3),
+	// 1/h for MLFM (h=6), 1/k for OFT (k=6) — 1/6 for all three here.
+	sats := map[string]float64{}
+	for _, p := range points {
+		if p.Alg == "MIN" && p.Pat == "WC" {
+			sats[p.Topo] = p.Saturation
+		}
+		if p.Alg == "MIN" && p.Pat == "UNI" && p.Saturation < 0.85 {
+			t.Errorf("%s UNI MIN saturation %.3f, want near full bandwidth", p.Topo, p.Saturation)
+		}
+	}
+	for name, sat := range sats {
+		if math.Abs(sat-1.0/6) > 1e-9 {
+			t.Errorf("%s WC MIN saturation %.6f, want exactly 1/6", name, sat)
+		}
+	}
+	// Grid order: presets outermost, then algs, pats, loads.
+	i := 0
+	for _, p := range presets {
+		for _, alg := range []string{"MIN", "INR"} {
+			for _, pat := range []string{"UNI", "WC"} {
+				for _, load := range spec.Loads {
+					got := points[i]
+					if got.Topo != p.Name || got.Alg != alg || got.Pat != pat || got.Load != load {
+						t.Fatalf("point %d = %s|%s|%s|%.2f, want %s|%s|%s|%.2f",
+							i, got.Topo, got.Alg, got.Pat, got.Load, p.Name, alg, pat, load)
+					}
+					if got.Family == "" {
+						t.Fatalf("point %d has no family", i)
+					}
+					i++
+				}
+			}
+		}
+	}
+}
+
+// TestScreenSweepWorkerInvariance: screening results are identical for
+// any scheduler worker count, like every other sweep.
+func TestScreenSweepWorkerInvariance(t *testing.T) {
+	presets := SmallPresets()
+	spec := quickScreenSpec()
+	serial := QuickScale()
+	serial.Sched.Workers = 1
+	a, err := ScreenSweep(presets, spec, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled := QuickScale()
+	pooled.Sched.Workers = 4
+	b, err := ScreenSweep(presets, spec, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("screening results differ between 1 and 4 workers")
+	}
+}
+
+// TestScreenSweepRejectsAdaptive: adaptive algorithms have no fluid
+// counterpart and must be rejected up front, not silently approximated.
+func TestScreenSweepRejectsAdaptive(t *testing.T) {
+	sc := QuickScale()
+	_, err := ScreenSweep(SmallPresets(), ScreenSpec{Algs: []AlgKind{AlgA}}, sc)
+	if !errors.Is(err, fluid.ErrUnsupportedRouting) {
+		t.Fatalf("ScreenSweep with AlgA = %v, want ErrUnsupportedRouting", err)
+	}
+}
+
+// TestScreenTierKeysDistinct: a screened result is stored under a
+// fluid-tier key that no simulator lookup can hit — the same point
+// configuration with the sim tier resolves to a different canonical
+// key, and a re-screen hits the cache.
+func TestScreenTierKeysDistinct(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sc := QuickScale()
+	sc.Sched.Store = st
+	presets := SmallPresets()[:1]
+	spec := quickScreenSpec()
+	points, err := ScreenSweep(presets, spec, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if int(stats.Puts) != len(points) {
+		t.Fatalf("stored %d records for %d screened points", stats.Puts, len(points))
+	}
+	// Every stored key must be the fluid-tier key; the sim-tier key of
+	// the same point must miss.
+	fluidScale, simScale := sc, sc
+	fluidScale.Tier = store.TierFluid
+	simScale.Tier = store.TierSim
+	for _, p := range points {
+		pointKey := "screen|" + p.Topo + "|" + p.Alg + "|" + p.Pat + "|load=" + strconv.FormatFloat(p.Load, 'f', 4, 64)
+		fk := fluidScale.pointConfig(pointKey).Key()
+		sk := simScale.pointConfig(pointKey).Key()
+		if fk == sk {
+			t.Fatalf("fluid and sim tiers share a key for %s", pointKey)
+		}
+		if _, ok := st.Get(fk); !ok {
+			t.Fatalf("fluid-tier key missing from store for %s", pointKey)
+		}
+		if _, ok := st.Get(sk); ok {
+			t.Fatalf("sim-tier key unexpectedly present for %s", pointKey)
+		}
+	}
+	// Warm re-screen: byte-identical results, all cache hits. (The
+	// Get calls above counted as store hits/misses themselves, so
+	// re-baseline first.)
+	stats = st.Stats()
+	again, err := ScreenSweep(presets, spec, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(points, again) {
+		t.Fatal("warm re-screen differs from cold screen")
+	}
+	after := st.Stats()
+	if int(after.Hits-stats.Hits) != len(points) {
+		t.Fatalf("warm re-screen hit %d of %d points", after.Hits-stats.Hits, len(points))
+	}
+	if after.Puts != stats.Puts {
+		t.Fatalf("warm re-screen re-recorded results (%d -> %d puts)", stats.Puts, after.Puts)
+	}
+}
+
+// screenPt builds a synthetic screened point for selection tests.
+func screenPt(topoName, family, alg, pat string, load, sat, thr float64) ScreenPoint {
+	return ScreenPoint{
+		Topo: topoName, Family: family, Alg: alg, Pat: pat,
+		Estimate: fluid.Estimate{Load: load, Saturation: sat, Throughput: thr, AvgLatency: 1},
+	}
+}
+
+// TestSelectEscalationsBand: points within the relative band of their
+// predicted saturation are picked; the rest are not.
+func TestSelectEscalationsBand(t *testing.T) {
+	points := []ScreenPoint{
+		screenPt("A(1)", "A", "MIN", "WC", 0.10, 0.5, 0.10), // far below
+		screenPt("A(1)", "A", "MIN", "WC", 0.46, 0.5, 0.46), // within 10%
+		screenPt("A(1)", "A", "MIN", "WC", 0.54, 0.5, 0.50), // within 10%
+		screenPt("A(1)", "A", "MIN", "WC", 0.90, 0.5, 0.50), // far above
+	}
+	picks := SelectEscalations(points, 0.10)
+	if len(picks) != 2 {
+		t.Fatalf("picked %d points, want 2", len(picks))
+	}
+	for _, pk := range picks {
+		if len(pk.Reasons) != 1 || pk.Reasons[0] != ReasonBand {
+			t.Errorf("pick at load %.2f has reasons %v, want [band]", pk.Point.Load, pk.Reasons)
+		}
+	}
+	if picks[0].Point.Load != 0.46 || picks[1].Point.Load != 0.54 {
+		t.Errorf("picked loads %.2f, %.2f; want 0.46, 0.54", picks[0].Point.Load, picks[1].Point.Load)
+	}
+	if got := SelectEscalations(points, 0); len(got) != 0 {
+		t.Errorf("band 0 picked %d points, want none", len(got))
+	}
+}
+
+// TestSelectEscalationsCrossover: when two topologies of different
+// families swap predicted-throughput ranking between consecutive
+// loads, all four bracketing points are picked; same-family pairs and
+// non-crossing ladders are not.
+func TestSelectEscalationsCrossover(t *testing.T) {
+	mk := func(topoName, family string, thrs ...float64) []ScreenPoint {
+		pts := make([]ScreenPoint, len(thrs))
+		for i, thr := range thrs {
+			load := float64(i+1) * 0.1
+			pts[i] = screenPt(topoName, family, "MIN", "UNI", load, 10, thr)
+		}
+		return pts
+	}
+	var points []ScreenPoint
+	points = append(points, mk("A(1)", "A", 0.10, 0.20, 0.25)...) // crosses B between loads 2 and 3
+	points = append(points, mk("B(1)", "B", 0.15, 0.22, 0.24)...)
+	points = append(points, mk("B(2)", "B", 0.01, 0.02, 0.03)...) // never crosses anyone
+	picks := SelectEscalations(points, 0)
+	if len(picks) != 4 {
+		t.Fatalf("picked %d points, want the 4 bracketing the A/B crossover: %+v", len(picks), picks)
+	}
+	for _, pk := range picks {
+		if len(pk.Reasons) != 1 || pk.Reasons[0] != ReasonCrossover {
+			t.Errorf("pick %s load %.1f reasons %v, want [crossover]", pk.Point.Topo, pk.Point.Load, pk.Reasons)
+		}
+		if pk.Point.Topo == "B(2)" {
+			t.Errorf("non-crossing topology B(2) picked")
+		}
+		if pk.Point.Load < 0.15 || pk.Point.Load > 0.35 {
+			t.Errorf("pick at load %.2f outside the crossover bracket", pk.Point.Load)
+		}
+	}
+}
+
+// TestEscalateSweep: escalated points run the real simulator and score
+// against the recorded calibration tolerance of their scenario.
+func TestEscalateSweep(t *testing.T) {
+	sc := QuickScale()
+	presets := SmallPresets()[:1] // SF(q=5,p=3)
+	spec := ScreenSpec{
+		Algs:  []AlgKind{AlgMIN},
+		Pats:  []PatternKind{PatWC},
+		Loads: []float64{0.15, 0.18},
+	}
+	points, err := ScreenSweep(presets, spec, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks := SelectEscalations(points, 0.15)
+	if len(picks) == 0 {
+		t.Fatal("no picks around the predicted saturation")
+	}
+	escs, err := EscalateSweep(picks, presets, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(escs) != len(picks) {
+		t.Fatalf("escalated %d of %d picks", len(escs), len(picks))
+	}
+	for _, e := range escs {
+		if !e.Recorded {
+			t.Errorf("%s|%s|%s has no recorded tolerance; the SF WC MIN scenario must cover it",
+				e.Pick.Point.Topo, e.Pick.Point.Alg, e.Pick.Point.Pat)
+		}
+		if e.Sim.Throughput <= 0 {
+			t.Errorf("escalated simulation delivered nothing at load %.2f", e.Pick.Point.Load)
+		}
+		if math.IsNaN(e.RelErr) {
+			t.Errorf("RelErr is NaN at load %.2f", e.Pick.Point.Load)
+		}
+		if !e.Within {
+			t.Errorf("escalated point at load %.2f outside tolerance: relerr %.3f > tol %.3f",
+				e.Pick.Point.Load, e.RelErr, e.Tolerance)
+		}
+	}
+}
+
+// TestEscalateSweepUnknownTopo: picks naming a topology outside the
+// preset set fail loudly instead of simulating something else.
+func TestEscalateSweepUnknownTopo(t *testing.T) {
+	picks := []EscalationPick{{Point: screenPt("Nope(1)", "Nope", "MIN", "UNI", 0.5, 1, 0.5)}}
+	if _, err := EscalateSweep(picks, SmallPresets(), QuickScale()); err == nil {
+		t.Fatal("EscalateSweep accepted an unknown topology")
+	}
+}
+
+// TestFluidSaturationTable: the shared helper (used by both diam2topo
+// -fluid and diam2report) renders one row per preset and recovers the
+// worst-case closed form in the WC MIN column.
+func TestFluidSaturationTable(t *testing.T) {
+	presets := SmallPresets()
+	tab, err := FluidSaturationTable(presets, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(presets) {
+		t.Fatalf("%d rows for %d presets", len(tab.Rows), len(presets))
+	}
+	for i, row := range tab.Rows {
+		if row[0] != presets[i].Name {
+			t.Errorf("row %d topology %q, want %q", i, row[0], presets[i].Name)
+		}
+		if len(row) != 4 {
+			t.Fatalf("row %d has %d cells, want 4", i, len(row))
+		}
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || v <= 0 || v > 1 {
+				t.Errorf("row %d cell %q not a saturation fraction", i, cell)
+			}
+		}
+		// All three reduced instances pin WC MIN at 1/6 = 0.167.
+		if row[2] != "0.167" {
+			t.Errorf("row %d WC MIN %q, want 0.167", i, row[2])
+		}
+	}
+}
+
+// TestPresetFamily pins the family naming the calibration scenarios
+// and crossover detection key on.
+func TestPresetFamily(t *testing.T) {
+	fams := map[string]bool{}
+	for _, p := range SmallPresets() {
+		fams[p.Family()] = true
+	}
+	for _, want := range []string{"SF", "MLFM", "OFT"} {
+		if !fams[want] {
+			t.Errorf("SmallPresets missing family %s (got %v)", want, fams)
+		}
+	}
+	for _, p := range PaperPresets() {
+		if f := p.Family(); f != "SF" && f != "MLFM" && f != "OFT" {
+			t.Errorf("paper preset %s has family %q", p.Name, f)
+		}
+	}
+}
+
+// TestScreenGridLoads: n evenly spaced loads ending exactly at 1.0,
+// all strictly positive (a zero offered load is not a screening point).
+func TestScreenGridLoads(t *testing.T) {
+	got := ScreenGridLoads(4)
+	want := []float64{0.25, 0.5, 0.75, 1.0}
+	if len(got) != len(want) {
+		t.Fatalf("ScreenGridLoads(4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("load[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got[len(got)-1] != 1.0 {
+		t.Errorf("ladder must end at full offered load, got %v", got[len(got)-1])
+	}
+}
+
+// TestScreenCountersAdvance: the process-wide screening counter grows
+// by exactly the number of analytically answered points.
+func TestScreenCountersAdvance(t *testing.T) {
+	before := ScreenedEstimates()
+	beforeEsc := EscalatedPoints()
+	points, err := ScreenSweep(SmallPresets()[:1], quickScreenSpec(), QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := ScreenedEstimates() - before; delta != int64(len(points)) {
+		t.Errorf("ScreenedEstimates grew by %d for %d screened points", delta, len(points))
+	}
+	if EscalatedPoints() != beforeEsc {
+		t.Error("screen-only sweep advanced the escalation counter")
+	}
+}
+
+// TestScreenAndEscalationTables: the renderers emit one row per combo
+// (screen) and per escalation, with unrecorded tolerances shown as "-".
+func TestScreenAndEscalationTables(t *testing.T) {
+	points, err := ScreenSweep(SmallPresets(), quickScreenSpec(), QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ScreenTable(points)
+	// 3 presets x 2 algorithms x 2 patterns, each collapsing its ladder.
+	if len(st.Rows) != 12 {
+		t.Errorf("ScreenTable has %d rows, want 12 combos", len(st.Rows))
+	}
+	var b strings.Builder
+	if err := st.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "saturation") {
+		t.Errorf("rendered screen table lacks its header:\n%s", b.String())
+	}
+
+	escs := []Escalation{
+		{
+			Pick:      EscalationPick{Point: points[0], Reasons: []string{ReasonBand}},
+			Sim:       LoadPoint{Load: points[0].Load, Throughput: 0.5},
+			RelErr:    0.02,
+			Tolerance: 0.08, Recorded: true, Within: true,
+		},
+		{
+			Pick:   EscalationPick{Point: points[1], Reasons: []string{ReasonBand, ReasonCrossover}},
+			Sim:    LoadPoint{Load: points[1].Load, Throughput: 0.4},
+			RelErr: 0.30, Recorded: false,
+		},
+	}
+	et := EscalationTable(escs)
+	if len(et.Rows) != 2 {
+		t.Fatalf("EscalationTable has %d rows, want 2", len(et.Rows))
+	}
+	last := et.Rows[1]
+	if last[len(last)-1] != "-" || last[len(last)-2] != "-" {
+		t.Errorf("unrecorded scenario should render tolerance/within as \"-\", got %v", last)
+	}
+	b.Reset()
+	if err := et.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), ReasonBand+"+"+ReasonCrossover) {
+		t.Errorf("escalation table does not join reasons:\n%s", b.String())
+	}
+}
+
+// TestCalibrateHarness drives the harness side of calibration on a
+// shortened scale: all nine golden scenarios run through the scheduler
+// and come back structurally complete (the tolerance gate itself is
+// TestCalibrationPinsSimulator in internal/fluid, at full quick scale).
+func TestCalibrateHarness(t *testing.T) {
+	sc := QuickScale()
+	sc.Cycles, sc.Warmup = 6000, 1500
+	cals, err := Calibrate(SmallPresets(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cals) != 9 {
+		t.Fatalf("Calibrate returned %d scenarios, want 9", len(cals))
+	}
+	for _, c := range cals {
+		if c.Topo == "" || c.FluidSat <= 0 || c.SimSat <= 0 {
+			t.Errorf("%s: incomplete calibration %+v", c.Name(), c)
+		}
+		if math.IsInf(c.RelErr, 0) || math.IsNaN(c.RelErr) {
+			t.Errorf("%s: relative error %v", c.Name(), c.RelErr)
+		}
+	}
+	ct := CalibrationTable(cals)
+	if len(ct.Rows) != 9 {
+		t.Errorf("CalibrationTable has %d rows, want 9", len(ct.Rows))
+	}
+	var b strings.Builder
+	if err := ct.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "SF|UNI|MIN") {
+		t.Errorf("calibration table lacks scenario names:\n%s", b.String())
+	}
+}
+
+// TestCalibrateMissingFamily: a preset set that cannot cover every
+// scenario family must fail loudly, or the CI gate would silently
+// shrink to the families that happen to be present.
+func TestCalibrateMissingFamily(t *testing.T) {
+	var sfOnly []Preset
+	for _, p := range SmallPresets() {
+		if p.Family() == "SF" {
+			sfOnly = append(sfOnly, p)
+		}
+	}
+	if len(sfOnly) == 0 {
+		t.Fatal("no SF preset at quick scale")
+	}
+	if _, err := Calibrate(sfOnly, QuickScale()); err == nil {
+		t.Error("Calibrate without MLFM/OFT presets succeeded, want missing-family error")
+	}
+}
+
+// TestParseScreenKinds: the parsers invert the String forms screening
+// emits and reject everything else (adaptive kinds never screen).
+func TestParseScreenKinds(t *testing.T) {
+	if k, err := parseAlgKind("INR"); err != nil || k != AlgINR {
+		t.Errorf("parseAlgKind(INR) = %v, %v", k, err)
+	}
+	if _, err := parseAlgKind("ATh"); err == nil {
+		t.Error("parseAlgKind accepted an adaptive kind")
+	}
+	if k, err := parsePatternKind("WC"); err != nil || k != PatWC {
+		t.Errorf("parsePatternKind(WC) = %v, %v", k, err)
+	}
+	if k, err := parsePatternKind("UNI"); err != nil || k != PatUNI {
+		t.Errorf("parsePatternKind(UNI) = %v, %v", k, err)
+	}
+	if got := (Preset{Name: "bare"}).Family(); got != "bare" {
+		t.Errorf("Family of a parameterless preset = %q, want the name itself", got)
+	}
+	if _, err := parsePatternKind("A2A"); err == nil {
+		t.Error("parsePatternKind accepted a non-screening pattern")
+	}
+}

@@ -47,6 +47,7 @@ func (s Scale) pointConfig(pointKey string) store.PointConfig {
 		Point:        pointKey,
 		EngineSchema: sim.EngineSchema,
 		EngineCores:  cores,
+		Tier:         s.Tier,
 		BaseSeed:     s.Seed,
 		PatternSeed:  s.patternSeed(),
 		Cycles:       s.Cycles,

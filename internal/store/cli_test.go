@@ -1,0 +1,63 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSummaryAndFormatCount: the one-line CLI report counts hits, puts
+// and live records with correct pluralization (the smoke scripts grep
+// for these exact forms).
+func TestSummaryAndFormatCount(t *testing.T) {
+	if got := FormatCount(1, "record"); got != "1 record" {
+		t.Errorf("FormatCount(1) = %q", got)
+	}
+	if got := FormatCount(3, "segment"); got != "3 segments" {
+		t.Errorf("FormatCount(3) = %q", got)
+	}
+
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cfg := PointConfig{Point: "p1"}
+	if err := st.Put(Record{Key: cfg.Key(), Point: "p1", Payload: []byte(`{"x":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(cfg.Key()); !ok {
+		t.Fatal("fresh put not readable")
+	}
+	sum := st.Summary()
+	if !strings.Contains(sum, "1 reused, 1 computed") || !strings.Contains(sum, "1 record") {
+		t.Errorf("Summary = %q, want 1 reused / 1 computed / 1 record", sum)
+	}
+}
+
+// TestOpenCLIVariants: the CLI constructors wire the right options —
+// create-if-missing for writers, hard errors for read/maintenance
+// opens of nonexistent paths.
+func TestOpenCLIVariants(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenCLI(dir, "testcmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	missing := dir + "/nope"
+	if _, err := OpenCLIRead(missing, "testcmd"); err == nil {
+		t.Error("OpenCLIRead conjured a store from a missing path")
+	}
+	if _, err := OpenCLIExisting(missing, "testcmd"); err == nil {
+		t.Error("OpenCLIExisting conjured a store from a missing path")
+	}
+	shared, err := OpenCLICampaign(dir, "testcmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

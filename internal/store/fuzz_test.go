@@ -41,5 +41,18 @@ func FuzzCanonicalKey(f *testing.F) {
 		if d.Key() == ka {
 			t.Fatal("changing the seed did not change the key")
 		}
+		// Result tiers must never alias: an analytic (fluid) result and
+		// a simulated one for the same point are different records, and
+		// no point string can fake the tier field's serialized form.
+		e := a
+		e.Tier = TierFluid
+		if e.Key() == ka {
+			t.Fatal("setting the fluid tier did not change the key")
+		}
+		f2 := a
+		f2.Point = pointA + TierFluid
+		if f2.Key() == e.Key() {
+			t.Fatal("tier content smuggled via the point string collides with the fluid tier")
+		}
 	})
 }

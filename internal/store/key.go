@@ -30,8 +30,21 @@ import (
 // added EngineCores: the sharded engine's results follow their own
 // determinism contract but are not bit-identical to the serial
 // engine's, so a -cores run must never satisfy a serial lookup (or
-// vice versa).
-const CanonVersion = 3
+// vice versa). Version 4 added Tier: analytic (fluid-model) screening
+// results and flit-level simulator results answer the same point keys
+// with entirely different fidelity, so they must never alias in the
+// store.
+const CanonVersion = 4
+
+// Result tiers. The tier names the producer of a record's payload:
+// the flit-level discrete-event simulator (the default, encoded as the
+// empty string so pre-screening configurations keep their natural zero
+// value) or the analytic fluid model, which answers the same point
+// keys in microseconds at screening fidelity.
+const (
+	TierSim   = ""      // flit-level simulation (default)
+	TierFluid = "fluid" // analytic fluid-model screening estimate
+)
 
 // PointConfig is the fully-resolved configuration of one sweep point —
 // everything that determines its simulation output. The sweep point key
@@ -43,6 +56,7 @@ type PointConfig struct {
 	Point        string // scheduler point key, e.g. "fig6|SF(q=5,p=4)|MIN|UNI|load=0.5000"
 	EngineSchema int    // sim.EngineSchema the result was produced under
 	EngineCores  int    // sharded-engine partition/worker count; 0 = serial (1 normalizes to 0)
+	Tier         string // result tier: TierSim (flit-level) or TierFluid (analytic screening)
 
 	BaseSeed    int64 // sweep base seed (per-point seeds derive from it)
 	PatternSeed int64 // resolved traffic-structure seed
@@ -88,6 +102,7 @@ func (c PointConfig) Key() string {
 	field(h, "point", c.Point)
 	field(h, "engine", strconv.Itoa(c.EngineSchema))
 	field(h, "engine-cores", strconv.Itoa(c.EngineCores))
+	field(h, "tier", c.Tier)
 	field(h, "seed", strconv.FormatInt(c.BaseSeed, 10))
 	field(h, "pattern-seed", strconv.FormatInt(c.PatternSeed, 10))
 	field(h, "cycles", strconv.FormatInt(c.Cycles, 10))

@@ -50,6 +50,7 @@ func TestKeyDistinct(t *testing.T) {
 		"Point":          func(c *PointConfig) { c.Point += "x" },
 		"EngineSchema":   func(c *PointConfig) { c.EngineSchema++ },
 		"EngineCores":    func(c *PointConfig) { c.EngineCores = 4 },
+		"Tier":           func(c *PointConfig) { c.Tier = TierFluid },
 		"BaseSeed":       func(c *PointConfig) { c.BaseSeed++ },
 		"PatternSeed":    func(c *PointConfig) { c.PatternSeed++ },
 		"Cycles":         func(c *PointConfig) { c.Cycles++ },

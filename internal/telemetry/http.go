@@ -23,7 +23,25 @@ type Registry struct {
 	// Aggregate counters folded in as collectors detach.
 	doneInjected, doneDelivered, doneDropped int64
 	doneLinkFlits                            int64
-	campaign                                 func() any
+	// Screening-tier counters (see harness.ScreenSweep): analytic
+	// estimates answered and points escalated to the simulator.
+	screenEstimates, screenEscalations int64
+	campaign                           func() any
+}
+
+// AddScreen folds screening-tier activity into the registry: analytic
+// (fluid-model) estimates answered and screened points escalated to
+// flit-level simulation. Screening points never attach a Collector —
+// there is no engine to observe — so they report through these
+// counters instead.
+func (r *Registry) AddScreen(estimates, escalations int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.screenEstimates += estimates
+	r.screenEscalations += escalations
+	r.mu.Unlock()
 }
 
 // SetCampaign installs the /campaign data source — typically a closure
@@ -85,6 +103,9 @@ type RegistrySnapshot struct {
 	CompletedDelivered int64 `json:"completed_delivered"`
 	CompletedDropped   int64 `json:"completed_dropped"`
 	CompletedLinkFlits int64 `json:"completed_link_flits"`
+	// Screening-tier totals (analytic estimates carry no collector).
+	ScreenEstimates   int64 `json:"screen_estimates"`
+	ScreenEscalations int64 `json:"screen_escalations"`
 }
 
 // Snapshot captures the live collectors (in attach order) and the
@@ -106,6 +127,8 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 		CompletedDelivered: r.doneDelivered,
 		CompletedDropped:   r.doneDropped,
 		CompletedLinkFlits: r.doneLinkFlits,
+		ScreenEstimates:    r.screenEstimates,
+		ScreenEscalations:  r.screenEscalations,
 	}
 	r.mu.Unlock() // snapshot collectors outside the registry lock
 	for i := 1; i < len(cols); i++ {

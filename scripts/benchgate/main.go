@@ -15,18 +15,28 @@
 // Usage:
 //
 //	go run ./scripts/benchgate -baseline .github/bench-baseline.txt -current out.txt
+//	go run ./scripts/benchgate -baseline BENCH_parallel.json -current out.txt
 //	go run ./scripts/benchgate -baseline .github/bench-baseline.txt -current out.txt -update
 //
+// The baseline is either raw `go test -bench` output or one of the
+// repo's BENCH_*.json result documents (detected by the .json
+// extension): for JSON the recorded ns_op of each case is gated, so
+// BENCH_parallel.json pins the sharded engine the same way
+// bench-baseline.txt pins the serial hot path.
+//
 // With -update the current file replaces the baseline (after a
-// legitimate perf change; commit the result). Benchmarks present in
-// only one file are reported but do not fail the gate, so adding or
-// retiring cases does not require lockstep baseline updates.
+// legitimate perf change; commit the result); JSON baselines are
+// curated documents and must be edited by hand instead. Benchmarks
+// present in only one file are reported but do not fail the gate, so
+// adding or retiring cases does not require lockstep baseline updates.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -38,15 +48,24 @@ import (
 // "BenchmarkEngineStep/SF/load=0.1-2  1500  33606 ns/op  29758 cycles/s".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
 
-// parse reads a -bench output file into name -> best (minimum) ns/op.
-// Minimum-of-counts is the standard noise reduction: external
-// interference only ever slows a run down.
+// parse reads a baseline or current file into name -> ns/op. Raw
+// `go test -bench` output keeps the best (minimum) of repeated counts —
+// the standard noise reduction, since external interference only ever
+// slows a run down. A .json path is read as a BENCH_*.json result
+// document instead.
 func parse(path string) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return parseJSON(path, f)
+	}
+	return parseBench(path, f)
+}
+
+func parseBench(path string, f io.Reader) (map[string]float64, error) {
 	best := make(map[string]float64)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
@@ -68,6 +87,42 @@ func parse(path string) (map[string]float64, error) {
 	}
 	if len(best) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return best, nil
+}
+
+// benchPrefix extracts the Go benchmark function name cited in a
+// BENCH_*.json "benchmark" field, e.g. "... BenchmarkParallelEngine)".
+var benchPrefix = regexp.MustCompile(`Benchmark\w+`)
+
+// parseJSON reads one of the repo's BENCH_*.json result documents into
+// name -> ns/op. The recorded cases become "<BenchmarkFunc>/<case>"
+// entries — the names `go test -bench` prints for the sub-benchmarks —
+// so a fresh run can be gated directly against the checked-in numbers.
+func parseJSON(path string, f io.Reader) (map[string]float64, error) {
+	var doc struct {
+		Benchmark string `json:"benchmark"`
+		Cases     []struct {
+			Case string  `json:"case"`
+			NsOp float64 `json:"ns_op"`
+		} `json:"cycles_per_second"`
+	}
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	prefix := benchPrefix.FindString(doc.Benchmark)
+	if prefix == "" {
+		return nil, fmt.Errorf("%s: \"benchmark\" field names no Benchmark function", path)
+	}
+	best := make(map[string]float64, len(doc.Cases))
+	for _, c := range doc.Cases {
+		if c.Case == "" || c.NsOp <= 0 {
+			return nil, fmt.Errorf("%s: case %q has no positive ns_op", path, c.Case)
+		}
+		best[prefix+"/"+c.Case] = c.NsOp
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("%s: no cycles_per_second cases found", path)
 	}
 	return best, nil
 }
@@ -96,6 +151,10 @@ func main() {
 		os.Exit(2)
 	}
 	if *update {
+		if strings.HasSuffix(*baseline, ".json") {
+			fmt.Fprintln(os.Stderr, "benchgate: JSON baselines are curated result documents; edit the ns_op fields by hand instead of -update")
+			os.Exit(2)
+		}
 		data, err := os.ReadFile(*current)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -118,7 +177,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
+	failed, err := gate(base, cur, *threshold, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%% beyond the machine-speed median\n",
+			failed, (*threshold-1)*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: pass")
+}
 
+// gate compares current against baseline ns/op maps and writes the
+// delta table to w. It returns the number of benchmarks whose
+// machine-normalized ratio exceeds the threshold, or an error when the
+// two sets share no benchmarks.
+func gate(base, cur map[string]float64, threshold float64, w io.Writer) (int, error) {
 	type row struct {
 		name      string
 		base, cur float64
@@ -128,19 +204,18 @@ func main() {
 	for name, b := range base {
 		c, ok := cur[name]
 		if !ok {
-			fmt.Printf("  %-50s baseline-only (retired? run benchgate -update)\n", name)
+			fmt.Fprintf(w, "  %-50s baseline-only (retired? run benchgate -update)\n", name)
 			continue
 		}
 		rows = append(rows, row{name, b, c, c / b})
 	}
 	for name := range cur {
 		if _, ok := base[name]; !ok {
-			fmt.Printf("  %-50s new benchmark (no baseline; run benchgate -update)\n", name)
+			fmt.Fprintf(w, "  %-50s new benchmark (no baseline; run benchgate -update)\n", name)
 		}
 	}
 	if len(rows) == 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks in common between baseline and current")
-		os.Exit(2)
+		return 0, fmt.Errorf("no benchmarks in common between baseline and current")
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 
@@ -154,9 +229,9 @@ func main() {
 		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
 	}
 
-	limit := median * *threshold
+	limit := median * threshold
 	failed := 0
-	fmt.Printf("benchgate: %d benchmarks, machine-speed median ratio %.3f, per-benchmark limit %.3f\n",
+	fmt.Fprintf(w, "benchgate: %d benchmarks, machine-speed median ratio %.3f, per-benchmark limit %.3f\n",
 		len(rows), median, limit)
 	for _, r := range rows {
 		verdict := "ok"
@@ -164,13 +239,11 @@ func main() {
 			verdict = "REGRESSION"
 			failed++
 		}
-		fmt.Printf("  %-50s %12.0f -> %12.0f ns/op  ratio %.3f  %s\n",
-			r.name, r.base, r.cur, r.ratio, verdict)
+		// delta is the benchmark's drift relative to the machine-speed
+		// median: +0.0% means "moved exactly with the machine".
+		delta := (r.ratio/median - 1) * 100
+		fmt.Fprintf(w, "  %-50s %12.0f -> %12.0f ns/op  ratio %.3f  delta %+6.1f%%  %s\n",
+			r.name, r.base, r.cur, r.ratio, delta, verdict)
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%% beyond the machine-speed median\n",
-			failed, (*threshold-1)*100)
-		os.Exit(1)
-	}
-	fmt.Println("benchgate: pass")
+	return failed, nil
 }

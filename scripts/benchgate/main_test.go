@@ -1,0 +1,156 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+BenchmarkParallelEngine/serial-4         	     100	  10000000 ns/op	       100 cycles/s
+BenchmarkParallelEngine/serial-4         	     100	  10500000 ns/op	        95 cycles/s
+BenchmarkParallelEngine/P=4/W=1-4        	     100	  12000000 ns/op	        83 cycles/s
+BenchmarkParallelEngine/P=2/W=2-4        	     100	  13000000 ns/op	        76 cycles/s
+BenchmarkParallelEngine/P=4/W=4-4        	     100	  14500000 ns/op	        69 cycles/s
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestParseBenchText: raw -bench output parses to best-of-counts ns/op
+// with the GOMAXPROCS suffix stripped.
+func TestParseBenchText(t *testing.T) {
+	got, err := parse(writeTemp(t, "bench.txt", benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	if v := got["BenchmarkParallelEngine/serial"]; v != 10000000 {
+		t.Errorf("serial best-of-counts = %v, want 10000000 (minimum of the two runs)", v)
+	}
+	if _, ok := got["BenchmarkParallelEngine/P=4/W=1"]; !ok {
+		t.Errorf("P=4/W=1 missing; keys: %v", got)
+	}
+}
+
+// TestStripProcSuffix: only a trailing numeric -N (the GOMAXPROCS tag)
+// is stripped; dashes inside names survive.
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX/serial-4":  "BenchmarkX/serial",
+		"BenchmarkX/serial":    "BenchmarkX/serial",
+		"BenchmarkX/two-phase": "BenchmarkX/two-phase",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestParseParallelJSON: the checked-in BENCH_parallel.json document
+// parses into the same names `go test -bench BenchmarkParallelEngine`
+// prints, so the recorded ns_op numbers gate a fresh run directly.
+func TestParseParallelJSON(t *testing.T) {
+	got, err := parse("../../BENCH_parallel.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"BenchmarkParallelEngine/serial",
+		"BenchmarkParallelEngine/P=4/W=1",
+		"BenchmarkParallelEngine/P=2/W=2",
+		"BenchmarkParallelEngine/P=4/W=4",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d cases, want %d: %v", len(got), len(want), got)
+	}
+	for _, name := range want {
+		if got[name] <= 0 {
+			t.Errorf("%s: ns_op %v, want positive", name, got[name])
+		}
+	}
+}
+
+// TestGateNormalizesMachineSpeed: a uniformly slower machine (every
+// ratio 2x) passes; a regression concentrated in one case fails it and
+// only it, and the delta table names the offender.
+func TestGateNormalizesMachineSpeed(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 200, "C": 300}
+
+	uniform := map[string]float64{"A": 200, "B": 400, "C": 600}
+	var sb strings.Builder
+	failed, err := gate(base, uniform, 1.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Errorf("uniformly 2x slower machine failed %d benchmarks, want 0:\n%s", failed, sb.String())
+	}
+
+	skewed := map[string]float64{"A": 200, "B": 400, "C": 900} // C regressed 1.5x beyond the median
+	sb.Reset()
+	failed, err = gate(base, skewed, 1.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Errorf("concentrated regression failed %d benchmarks, want exactly 1:\n%s", failed, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "C") || !strings.Contains(out, "REGRESSION") {
+		t.Errorf("delta table does not name the regressed benchmark:\n%s", out)
+	}
+	if !strings.Contains(out, "delta") {
+		t.Errorf("delta table has no delta column:\n%s", out)
+	}
+}
+
+// TestGateMismatchedSets: baseline-only and current-only benchmarks are
+// reported but do not fail the gate; fully disjoint sets are an error.
+func TestGateMismatchedSets(t *testing.T) {
+	var sb strings.Builder
+	failed, err := gate(
+		map[string]float64{"A": 100, "B": 100, "old": 50},
+		map[string]float64{"A": 100, "B": 100, "new": 70},
+		1.10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Errorf("mismatched-set run failed %d benchmarks, want 0:\n%s", failed, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "baseline-only") || !strings.Contains(out, "new benchmark") {
+		t.Errorf("set mismatches not reported:\n%s", out)
+	}
+	if _, err := gate(map[string]float64{"A": 1}, map[string]float64{"B": 1}, 1.10, &sb); err == nil {
+		t.Error("disjoint benchmark sets gated successfully, want error")
+	}
+}
+
+// TestParseJSONRejectsMalformed: documents without a Benchmark function
+// name or without positive ns_op numbers are rejected rather than
+// silently gating nothing.
+func TestParseJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no-func":  `{"benchmark": "numbers", "cycles_per_second": [{"case": "serial", "ns_op": 5}]}`,
+		"no-nsop":  `{"benchmark": "BenchmarkX", "cycles_per_second": [{"case": "serial"}]}`,
+		"no-cases": `{"benchmark": "BenchmarkX", "cycles_per_second": []}`,
+	}
+	for name, doc := range cases {
+		if _, err := parse(writeTemp(t, name+".json", doc)); err == nil {
+			t.Errorf("%s: malformed document parsed successfully, want error", name)
+		}
+	}
+}

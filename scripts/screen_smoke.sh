@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Screening-tier smoke: the analytic fluid sweep must answer a
+# 1000+-point oblivious grid in seconds, store every point under its
+# own fluid-tier key (a warm replay recomputes nothing and emits
+# byte-identical output), and a reduced escalation pass through the
+# flit-level simulator must find every escalated point's fluid estimate
+# within its recorded calibration tolerance (-screen-check).
+#
+# Usage: scripts/screen_smoke.sh [screen-budget-seconds]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+budget="${1:-60}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/diam2sweep" ./cmd/diam2sweep
+store="$workdir/store"
+
+echo "== screen-only: 1080 analytic points (grid 90) under the ${budget}s budget"
+start=$(date +%s)
+"$workdir/diam2sweep" -screen -screen-grid 90 -scale quick -store "$store" \
+  > "$workdir/screen.txt" 2> "$workdir/screen.log"
+elapsed=$(( $(date +%s) - start ))
+grep -o 'screen: .*' "$workdir/screen.log"
+if ! grep -q 'screen: 1080 analytic points' "$workdir/screen.log"; then
+  echo "FAIL: expected 1080 screened points (3 presets x 4 routing/pattern combos x 90 loads):" >&2
+  cat "$workdir/screen.log" >&2
+  exit 1
+fi
+if [ "$elapsed" -gt "$budget" ]; then
+  echo "FAIL: screening 1080 points took ${elapsed}s, over the ${budget}s budget" >&2
+  exit 1
+fi
+echo "   screened in ${elapsed}s"
+
+echo "== warm replay: every point must come back from its fluid-tier key"
+"$workdir/diam2sweep" -screen -screen-grid 90 -scale quick -store "$store" \
+  > "$workdir/warm.txt" 2> "$workdir/warm.log"
+grep -o 'store: .*' "$workdir/warm.log"
+if ! grep -q 'store: 1080 reused, 0 computed' "$workdir/warm.log"; then
+  echo "FAIL: warm replay recomputed screened points (unstable fluid-tier keys):" >&2
+  cat "$workdir/warm.log" >&2
+  exit 1
+fi
+if ! cmp -s "$workdir/screen.txt" "$workdir/warm.txt"; then
+  echo "FAIL: warm replay output differs from the cold screen" >&2
+  diff "$workdir/screen.txt" "$workdir/warm.txt" >&2 || true
+  exit 1
+fi
+
+echo "== escalation: reduced grid through the simulator, -screen-check gates recorded tolerances"
+"$workdir/diam2sweep" -screen -screen-grid 30 -escalate-band 0.10 -screen-check \
+  -scale quick -j 2 -store "$store" > "$workdir/escalate.txt" 2> "$workdir/escalate.log"
+grep -o 'escalating .*' "$workdir/escalate.log"
+grep -o 'screen check: .*' "$workdir/escalate.log"
+
+echo "PASS: 1080 analytic points in ${elapsed}s, warm replay all-reuse, escalated points within recorded tolerances"
