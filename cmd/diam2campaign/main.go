@@ -230,9 +230,10 @@ type progressBody struct {
 
 // coordinatorMux assembles the coordinator's HTTP surface: the
 // telemetry registry's observability mux (with /campaign attached)
-// plus the coordinator-only progress and submit endpoints. Factored
-// out of serve so tests can drive it without a listener.
-func coordinatorMux(storeDir, campDir string) *http.ServeMux {
+// plus the coordinator-only progress and submit endpoints, mounted on
+// the same route-enumerating mux so the "/" index lists them all.
+// Factored out of serve so tests can drive it without a listener.
+func coordinatorMux(storeDir, campDir string) *telemetry.Mux {
 	reg := telemetry.NewRegistry()
 	reg.SetCampaign(func() any {
 		st, err := campaign.Scan(campDir)
@@ -241,8 +242,7 @@ func coordinatorMux(storeDir, campDir string) *http.ServeMux {
 		}
 		return st
 	})
-	mux := http.NewServeMux()
-	mux.Handle("/", reg.Handler())
+	mux := reg.Handler()
 	mux.HandleFunc("/campaign/progress", func(w http.ResponseWriter, req *http.Request) {
 		st, err := campaign.Scan(campDir)
 		if err != nil {

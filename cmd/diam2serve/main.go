@@ -1,0 +1,205 @@
+// Command diam2serve answers design-space queries over HTTP: which
+// (topology, routing, pattern, load) combination performs how, in
+// milliseconds, from a three-tier resolution path — content-addressed
+// store cache, analytic fluid estimate, and (when the escalation
+// policy decides the point deserves fidelity) a background flit-level
+// simulation the client polls via an escalation ticket.
+//
+// Usage:
+//
+//	diam2serve -http :8080 -store DIR [-scale quick] [-seed 1] \
+//	    [-escalate-band 0.15] [-grid 30] [-queue 64] [-esc-workers 1] \
+//	    [-campaign] [-worker-id NAME] [-drain-timeout 30s]
+//
+// The server shares its store keys with diam2sweep: points a sweep or
+// screening run already computed answer from cache byte-identically,
+// and every fluid estimate or escalation the server computes is
+// recorded for any later sweep. -scale and -seed must match the
+// sweeps' for the keys to align.
+//
+// With -campaign the store is opened in shared (campaign) mode and
+// escalations run under the lease protocol, so external `diam2sweep
+// -campaign` workers against the same store directory can absorb the
+// simulation load alongside the server's own workers.
+//
+// On SIGTERM/SIGINT the server drains: in-flight HTTP queries finish,
+// queued escalations get -drain-timeout to complete (their results
+// still land in the store), then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"diam2/internal/buildinfo"
+	"diam2/internal/campaign"
+	"diam2/internal/harness"
+	"diam2/internal/serve"
+	"diam2/internal/sim"
+	"diam2/internal/store"
+	"diam2/internal/telemetry"
+)
+
+func main() {
+	var (
+		httpAddr   = flag.String("http", "", "listen address, e.g. :8080 (required)")
+		storeDir   = flag.String("store", "", "content-addressed result store directory (required; created if absent)")
+		scaleName  = flag.String("scale", "quick", "experiment scale: quick|medium|paper (must match the sweeps sharing the store)")
+		seed       = flag.Int64("seed", 1, "base seed (must match the sweeps sharing the store)")
+		band       = flag.Float64("escalate-band", 0.15, "escalation band around predicted saturation; 0 disables escalation")
+		grid       = flag.Int("grid", 30, "decision-ladder size for the escalation policy")
+		queueMax   = flag.Int("queue", 64, "admitted-query bound; excess answered 429 + Retry-After")
+		escWorkers = flag.Int("esc-workers", 1, "background escalation worker count")
+		campMode   = flag.Bool("campaign", false, "open the store shared and run escalations under the campaign lease protocol")
+		workerID   = flag.String("worker-id", "", "campaign worker name (default host-pid)")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "how long queued escalations get to finish on shutdown")
+		version    = flag.Bool("version", false, "print build/version info and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("diam2serve"))
+		fmt.Printf("engine schema %d, store schema %d\n", sim.EngineSchema, store.Schema)
+		return
+	}
+	if *httpAddr == "" || *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: diam2serve -http ADDR -store DIR [flags]")
+		os.Exit(2)
+	}
+	if err := run(*httpAddr, *storeDir, *scaleName, *seed, *band, *grid, *queueMax, *escWorkers, *campMode, *workerID, *drainTO); err != nil {
+		fmt.Fprintln(os.Stderr, "diam2serve:", err)
+		os.Exit(1)
+	}
+}
+
+func scaleFor(scaleName string, seed int64) (harness.Scale, []harness.Preset, error) {
+	var sc harness.Scale
+	var presets []harness.Preset
+	switch scaleName {
+	case "quick":
+		sc = harness.QuickScale()
+		presets = harness.SmallPresets()
+	case "medium":
+		sc = harness.MediumScale()
+		presets = harness.SmallPresets()
+	case "paper":
+		sc = harness.PaperScale()
+		presets = harness.PaperPresets()
+	default:
+		return sc, nil, fmt.Errorf("unknown scale %q (quick|medium|paper)", scaleName)
+	}
+	sc.Seed = seed
+	return sc, presets, nil
+}
+
+func run(httpAddr, storeDir, scaleName string, seed int64, band float64, grid, queueMax, escWorkers int, campMode bool, workerID string, drainTO time.Duration) error {
+	sc, presets, err := scaleFor(scaleName, seed)
+	if err != nil {
+		return err
+	}
+
+	var st *store.Store
+	if campMode {
+		st, err = store.OpenCLICampaign(storeDir, "diam2serve")
+	} else {
+		st, err = store.OpenCLI(storeDir, "diam2serve")
+	}
+	if err != nil {
+		return err
+	}
+	defer func() {
+		fmt.Fprintln(os.Stderr, "diam2serve:", st.Summary())
+		if cerr := st.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "diam2serve: store close:", cerr)
+		}
+	}()
+
+	reg := telemetry.NewRegistry()
+	reg.PublishExpvar()
+
+	var worker *campaign.Worker
+	if campMode {
+		owner := workerID
+		if owner == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "serve"
+			}
+			owner = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		worker, err = campaign.NewWorker(campaign.DirFor(storeDir), owner, campaign.Policy{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = worker.Close() }()
+		dir := worker.Dir()
+		reg.SetCampaign(func() any {
+			cst, err := campaign.Scan(dir)
+			if err != nil {
+				return map[string]string{"error": err.Error()}
+			}
+			return cst
+		})
+		fmt.Fprintf(os.Stderr, "diam2serve: campaign worker %s joined %s\n", owner, dir)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Presets:    presets,
+		Scale:      sc,
+		Store:      st,
+		Band:       band,
+		Loads:      harness.ScreenGridLoads(grid),
+		QueueMax:   queueMax,
+		EscWorkers: escWorkers,
+		Registry:   reg,
+		Campaign:   worker,
+	})
+	if err != nil {
+		return err
+	}
+
+	mux := reg.Handler()
+	srv.Register(mux)
+
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", httpAddr, err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	fmt.Fprintf(os.Stderr, "diam2serve: serving design-space queries at http://%s/query (scale %s, %d presets, band %.2f)\n",
+		ln.Addr(), scaleName, len(presets), band)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigc)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "diam2serve: %v: draining (in-flight queries finish, escalations get %s)\n", sig, drainTO)
+	case err := <-errc:
+		return fmt.Errorf("http server: %w", err)
+	}
+
+	// Drain order matters: stop accepting and finish in-flight HTTP
+	// responses first (Shutdown blocks until handlers return), then
+	// give the background escalations their budget.
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainTO)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "diam2serve: http shutdown:", err)
+	}
+	if err := srv.Close(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "diam2serve: escalations cut off at drain timeout:", err)
+	}
+	fmt.Fprintln(os.Stderr, "diam2serve: drained")
+	return nil
+}

@@ -5,21 +5,28 @@
 // Usage:
 //
 //	diam2store -store DIR list            # every live record with provenance
+//	diam2store -store DIR stats           # per-tier counts, disk footprint, dedupe ratio
 //	diam2store -store DIR verify          # full scan: checksums, corrupt lines, stale records
 //	diam2store -store DIR diff OTHERDIR   # compare two stores' keys and payloads
 //	diam2store -store DIR gc              # drop superseded and stale-engine records, compact segments
 //	diam2store -store DIR gc -dry-run     # report what gc would do
 //
-// list, verify and diff are read-only: they refuse a path that holds
-// no store (a typo must not conjure an empty store that then "verifies"
-// clean) and never modify the store they inspect. gc requires an
-// existing store too. Unrecognized flags or stray arguments after a
-// subcommand are errors, never silently ignored — "gc -dryrun" must
-// not quietly run a real gc.
+// list, stats, verify and diff are read-only: they refuse a path that
+// holds no store (a typo must not conjure an empty store that then
+// "verifies" clean) and never modify the store they inspect. gc
+// requires an existing store too. Unrecognized flags or stray arguments
+// after a subcommand are errors, never silently ignored — "gc -dryrun"
+// must not quietly run a real gc.
 //
 // list prints one line per live record: the point key, the abbreviated
 // canonical key, the derived seed, the wall time of the producing run,
 // and the engine schema plus build it ran under.
+//
+// stats summarizes the store for dashboards and capacity planning: live
+// record counts split by result tier (flit-level sim vs analytic
+// fluid), segment count and on-disk bytes, and the dedupe ratio (stored
+// record lines per live key — above 1.0 means superseded duplicates a
+// gc would reclaim).
 //
 // verify reopens the store from scratch, the way a resuming sweep
 // would: it reports every segment, every record that failed its
@@ -41,6 +48,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"diam2/internal/buildinfo"
@@ -62,7 +70,7 @@ func main() {
 		return
 	}
 	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: diam2store -store DIR {list|verify|diff OTHERDIR|gc}")
+		fmt.Fprintln(os.Stderr, "usage: diam2store -store DIR {list|stats|verify|diff OTHERDIR|gc}")
 		os.Exit(2)
 	}
 	// flag.Parse stops at the first positional (the subcommand), so
@@ -103,7 +111,7 @@ func tailArgs(tail []string, verbose, dryRun *bool) ([]string, error) {
 
 func run(dir, cmd string, args []string, verbose, dryRun bool) error {
 	switch cmd {
-	case "list", "verify", "gc":
+	case "list", "stats", "verify", "gc":
 		// These take no positional arguments; a stray token is a
 		// mistake worth stopping on, not ignoring.
 		if len(args) > 0 {
@@ -114,11 +122,13 @@ func run(dir, cmd string, args []string, verbose, dryRun bool) error {
 			return fmt.Errorf("diff wants exactly one other store directory")
 		}
 	default:
-		return fmt.Errorf("unknown subcommand %q (list|verify|diff|gc)", cmd)
+		return fmt.Errorf("unknown subcommand %q (list|stats|verify|diff|gc)", cmd)
 	}
 	switch cmd {
 	case "list":
 		return list(dir, verbose)
+	case "stats":
+		return stats(dir)
 	case "verify":
 		return verify(dir)
 	case "diff":
@@ -143,6 +153,61 @@ func list(dir string, verbose bool) error {
 	}
 	fmt.Fprintln(os.Stderr, "diam2store:", st.Summary())
 	return nil
+}
+
+// stats summarizes one store read-only: per-tier live record counts,
+// on-disk segment footprint, and the dedupe ratio.
+func stats(dir string) error { return statsTo(os.Stdout, dir) }
+
+func statsTo(w io.Writer, dir string) error {
+	st, err := store.OpenCLIRead(dir, "diam2store")
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	var sim, fluid, other int
+	for _, rec := range st.Records() {
+		switch rec.Tier {
+		case store.TierSim:
+			sim++
+		case store.TierFluid:
+			fluid++
+		default:
+			other++
+		}
+	}
+	s := st.Stats()
+	segs, bytes, err := st.SegmentStats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "records   %d live (%d sim, %d fluid)\n", s.Records, sim, fluid)
+	if other > 0 {
+		fmt.Fprintf(w, "          %d under unrecognized tiers\n", other)
+	}
+	fmt.Fprintf(w, "segments  %d holding %s on disk\n", segs, formatBytes(bytes))
+	ratio := 1.0
+	if s.Records > 0 {
+		ratio = float64(s.Total) / float64(s.Records)
+	}
+	fmt.Fprintf(w, "dedupe    %d stored record(s) for %d live key(s) (%.2fx; above 1.00x gc reclaims the surplus)\n",
+		s.Total, s.Records, ratio)
+	if s.Corrupt > 0 {
+		fmt.Fprintf(w, "corrupt   %d record(s) skipped at open; run verify for detail\n", s.Corrupt)
+	}
+	return nil
+}
+
+// formatBytes renders a byte count at a human scale.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 func verify(dir string) error {

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"diam2/internal/store"
 )
 
 func TestTailArgsRecognizedFlags(t *testing.T) {
@@ -34,11 +36,59 @@ func TestTailArgsRejectsUnknownFlags(t *testing.T) {
 	}
 }
 
+// TestStats: per-tier counts, segment footprint, and the dedupe ratio
+// over a store holding sim records, fluid records, and one superseded
+// duplicate.
+func TestStats(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(key, tier string) {
+		t.Helper()
+		if err := st.Put(store.Record{Key: key, Point: "pt-" + key, Tier: tier, Payload: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("sim-a", store.TierSim)
+	put("sim-b", store.TierSim)
+	put("fluid-a", store.TierFluid)
+	put("sim-a", store.TierSim) // supersedes: 4 stored lines, 3 live keys
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := statsTo(&out, dir); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"3 live (2 sim, 1 fluid)",
+		"4 stored record(s) for 3 live key(s) (1.33x",
+		"segments  1 holding ",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestStatsRefusesMissingStore: stats is read-only and must not
+// conjure an empty store out of a typo'd path.
+func TestStatsRefusesMissingStore(t *testing.T) {
+	var out strings.Builder
+	if err := statsTo(&out, t.TempDir()+"/nope"); err == nil {
+		t.Fatal("stats on a nonexistent store succeeded")
+	}
+}
+
 // TestRunRejectsStrayArguments: subcommands that take no positionals
 // must error on them (before touching any store), and diff must insist
 // on exactly one.
 func TestRunRejectsStrayArguments(t *testing.T) {
-	for _, cmd := range []string{"list", "verify", "gc"} {
+	for _, cmd := range []string{"list", "stats", "verify", "gc"} {
 		err := run("/nonexistent", cmd, []string{"stray"}, false, false)
 		if err == nil || !strings.Contains(err.Error(), "takes no arguments") {
 			t.Errorf("%s with a stray argument = %v, want refusal", cmd, err)

@@ -200,7 +200,22 @@ func (m *Model) ValiantPermutation(perm traffic.Permutation) (LinkLoads, error) 
 			pairRate[[2]int{rs, rd}]++
 		}
 	}
-	for pair, rate := range pairRate {
+	// Spread in sorted pair order, not map order: the per-link float
+	// accumulations must sum in a fixed order or the last bit of the
+	// loads (and so saturation) varies run to run, breaking the
+	// harness's byte-identical determinism contract.
+	pairs := make([][2]int, 0, len(pairRate))
+	for pair := range pairRate {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pair := range pairs {
+		rate := pairRate[pair]
 		rs, rd := pair[0], pair[1]
 		// Count usable intermediates (excluding src/dst routers).
 		usable := 0

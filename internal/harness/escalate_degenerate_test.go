@@ -1,0 +1,93 @@
+package harness
+
+import "testing"
+
+// Degenerate inputs the escalation policy must survive without
+// panicking or over-picking: empty sweeps, ladders too short to show a
+// crossover, screened points whose fluid model failed (zero
+// saturation), and bands so wide they swallow the whole grid.
+
+func TestSelectEscalationsEmptySweep(t *testing.T) {
+	if picks := SelectEscalations(nil, 0.15); len(picks) != 0 {
+		t.Fatalf("empty sweep picked %d points", len(picks))
+	}
+	if picks := SelectEscalations([]ScreenPoint{}, 0.15); len(picks) != 0 {
+		t.Fatalf("zero-length sweep picked %d points", len(picks))
+	}
+}
+
+// TestSelectEscalationsSingleLoadLadder: a crossover needs two
+// consecutive loads; a one-load ladder has none, even when the
+// cross-family ranking at that load would flip against a neighboring
+// load's. Only the band can pick here.
+func TestSelectEscalationsSingleLoadLadder(t *testing.T) {
+	points := []ScreenPoint{
+		screenPt("A(1)", "A", "MIN", "UNI", 0.5, 0.9, 0.5),
+		screenPt("B(1)", "B", "MIN", "UNI", 0.5, 0.8, 0.5),
+	}
+	if picks := SelectEscalations(points, 0); len(picks) != 0 {
+		t.Fatalf("single-load ladder with no band picked %v", picks)
+	}
+	// With a band covering load 0.5 of the B topology (|0.5-0.8| <=
+	// 0.4*0.8) only that point is picked, and only for the band.
+	picks := SelectEscalations(points, 0.4)
+	if len(picks) != 1 || picks[0].Point.Topo != "B(1)" {
+		t.Fatalf("picks = %+v, want the B(1) band point only", picks)
+	}
+	if len(picks[0].Reasons) != 1 || picks[0].Reasons[0] != ReasonBand {
+		t.Fatalf("reasons = %v, want [band]", picks[0].Reasons)
+	}
+}
+
+// TestSelectEscalationsZeroSaturation: a screened point whose fluid
+// model degenerated (saturation 0 — e.g. no cross-router flow) can
+// never be band-picked; the band test would otherwise divide the grid
+// by zero conceptually and pick everything below it.
+func TestSelectEscalationsZeroSaturation(t *testing.T) {
+	points := []ScreenPoint{
+		screenPt("A(1)", "A", "MIN", "UNI", 0.1, 0, 0),
+		screenPt("A(1)", "A", "MIN", "UNI", 0.9, 0, 0),
+	}
+	if picks := SelectEscalations(points, 100); len(picks) != 0 {
+		t.Fatalf("zero-saturation points picked: %+v", picks)
+	}
+}
+
+// TestSelectEscalationsBandWiderThanGrid: a band wide enough to cover
+// every load picks the whole grid — once each, input order preserved,
+// no duplicated reasons.
+func TestSelectEscalationsBandWiderThanGrid(t *testing.T) {
+	points := []ScreenPoint{
+		screenPt("A(1)", "A", "MIN", "UNI", 0.1, 0.5, 0.1),
+		screenPt("A(1)", "A", "MIN", "UNI", 0.5, 0.5, 0.5),
+		screenPt("A(1)", "A", "MIN", "UNI", 0.9, 0.5, 0.5),
+	}
+	picks := SelectEscalations(points, 10)
+	if len(picks) != len(points) {
+		t.Fatalf("band 10 picked %d of %d points", len(picks), len(points))
+	}
+	for i, pk := range picks {
+		if pk.Point != points[i] {
+			t.Errorf("pick %d is %+v, want input order preserved", i, pk.Point)
+		}
+		if len(pk.Reasons) != 1 || pk.Reasons[0] != ReasonBand {
+			t.Errorf("pick %d reasons = %v, want [band] once", i, pk.Reasons)
+		}
+	}
+}
+
+// TestSelectEscalationsSameFamilyNoCrossover: ranking flips between
+// topologies of the same family are expected (different instance
+// sizes) and must not trigger crossover escalation — the policy
+// settles family-versus-family questions only.
+func TestSelectEscalationsSameFamilyNoCrossover(t *testing.T) {
+	points := []ScreenPoint{
+		screenPt("A(1)", "A", "MIN", "UNI", 0.2, 1, 0.30),
+		screenPt("A(1)", "A", "MIN", "UNI", 0.4, 1, 0.30),
+		screenPt("A(2)", "A", "MIN", "UNI", 0.2, 1, 0.25),
+		screenPt("A(2)", "A", "MIN", "UNI", 0.4, 1, 0.35),
+	}
+	if picks := SelectEscalations(points, 0); len(picks) != 0 {
+		t.Fatalf("same-family ranking flip escalated: %+v", picks)
+	}
+}

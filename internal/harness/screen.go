@@ -93,6 +93,22 @@ func ScreenGridLoads(n int) []float64 {
 	return loads
 }
 
+// ScreenPointKey is the scheduler point key of one fluid-tier
+// screening point. Everything that consumes or produces screening
+// results — ScreenSweep, the query service, smoke scripts diffing
+// stores — must agree on this format, or cache hits silently stop
+// matching.
+func ScreenPointKey(topoName string, alg AlgKind, pat PatternKind, load float64) string {
+	return fmt.Sprintf("screen|%s|%s|%s|load=%.4f", topoName, alg, pat, load)
+}
+
+// EscalatePointKey is the scheduler point key of one escalated
+// (sim-tier) screening point, shared by EscalateSweep and the query
+// service for the same reason as ScreenPointKey.
+func EscalatePointKey(topoName string, alg AlgKind, pat PatternKind, load float64) string {
+	return fmt.Sprintf("escalate|%s|%s|%s|load=%.4f", topoName, alg, pat, load)
+}
+
 // fluidRouting maps a harness algorithm kind to its analytic
 // counterpart; adaptive kinds have none (see fluid.ErrUnsupportedRouting).
 func fluidRouting(kind AlgKind) (fluid.Routing, error) {
@@ -181,7 +197,7 @@ func ScreenSweep(presets []Preset, spec ScreenSpec, scale Scale) ([]ScreenPoint,
 				for _, load := range spec.Loads {
 					load := load
 					points = append(points, Point[ScreenPoint]{
-						Key: fmt.Sprintf("screen|%s|%s|%s|load=%.4f", topoName, algName, patName, load),
+						Key: ScreenPointKey(topoName, alg, pat, load),
 						Run: func(ctx context.Context, seed int64) (ScreenPoint, error) {
 							combo.once.Do(func() {
 								combo.loads, combo.hops, combo.err = model.Loads(fpat, rt, wc)
@@ -329,8 +345,8 @@ type Escalation struct {
 	Within    bool
 }
 
-// parseAlgKind inverts AlgKind.String for the kinds screening emits.
-func parseAlgKind(s string) (AlgKind, error) {
+// ParseAlgKind inverts AlgKind.String for the kinds screening emits.
+func ParseAlgKind(s string) (AlgKind, error) {
 	switch s {
 	case "MIN":
 		return AlgMIN, nil
@@ -340,8 +356,8 @@ func parseAlgKind(s string) (AlgKind, error) {
 	return 0, fmt.Errorf("harness: unknown screening algorithm %q", s)
 }
 
-// parsePatternKind inverts PatternKind.String.
-func parsePatternKind(s string) (PatternKind, error) {
+// ParsePatternKind inverts PatternKind.String.
+func ParsePatternKind(s string) (PatternKind, error) {
 	switch s {
 	case "UNI":
 		return PatUNI, nil
@@ -377,17 +393,17 @@ func EscalateSweep(picks []EscalationPick, presets []Preset, scale Scale) ([]Esc
 			}
 			topos[preset.Name] = tp
 		}
-		alg, err := parseAlgKind(pick.Point.Alg)
+		alg, err := ParseAlgKind(pick.Point.Alg)
 		if err != nil {
 			return nil, err
 		}
-		pat, err := parsePatternKind(pick.Point.Pat)
+		pat, err := ParsePatternKind(pick.Point.Pat)
 		if err != nil {
 			return nil, err
 		}
 		load := pick.Point.Load
 		points = append(points, Point[LoadPoint]{
-			Key: fmt.Sprintf("escalate|%s|%s|%s|load=%.4f", preset.Name, alg, pat, load),
+			Key: EscalatePointKey(preset.Name, alg, pat, load),
 			Run: func(ctx context.Context, seed int64) (LoadPoint, error) {
 				res, err := RunSynthetic(tp, alg, preset.BestAdaptive, pat, load, scale.forPoint(ctx, seed))
 				if err != nil {
@@ -426,12 +442,12 @@ func EscalateSweep(picks []EscalationPick, presets []Preset, scale Scale) ([]Esc
 // mustAlg/mustPat re-parse strings already validated by EscalateSweep's
 // point-construction loop.
 func mustAlg(s string) AlgKind {
-	k, _ := parseAlgKind(s)
+	k, _ := ParseAlgKind(s)
 	return k
 }
 
 func mustPat(s string) PatternKind {
-	k, _ := parsePatternKind(s)
+	k, _ := ParsePatternKind(s)
 	return k
 }
 

@@ -476,22 +476,22 @@ func TestCalibrateMissingFamily(t *testing.T) {
 // TestParseScreenKinds: the parsers invert the String forms screening
 // emits and reject everything else (adaptive kinds never screen).
 func TestParseScreenKinds(t *testing.T) {
-	if k, err := parseAlgKind("INR"); err != nil || k != AlgINR {
-		t.Errorf("parseAlgKind(INR) = %v, %v", k, err)
+	if k, err := ParseAlgKind("INR"); err != nil || k != AlgINR {
+		t.Errorf("ParseAlgKind(INR) = %v, %v", k, err)
 	}
-	if _, err := parseAlgKind("ATh"); err == nil {
-		t.Error("parseAlgKind accepted an adaptive kind")
+	if _, err := ParseAlgKind("ATh"); err == nil {
+		t.Error("ParseAlgKind accepted an adaptive kind")
 	}
-	if k, err := parsePatternKind("WC"); err != nil || k != PatWC {
-		t.Errorf("parsePatternKind(WC) = %v, %v", k, err)
+	if k, err := ParsePatternKind("WC"); err != nil || k != PatWC {
+		t.Errorf("ParsePatternKind(WC) = %v, %v", k, err)
 	}
-	if k, err := parsePatternKind("UNI"); err != nil || k != PatUNI {
-		t.Errorf("parsePatternKind(UNI) = %v, %v", k, err)
+	if k, err := ParsePatternKind("UNI"); err != nil || k != PatUNI {
+		t.Errorf("ParsePatternKind(UNI) = %v, %v", k, err)
 	}
 	if got := (Preset{Name: "bare"}).Family(); got != "bare" {
 		t.Errorf("Family of a parameterless preset = %q, want the name itself", got)
 	}
-	if _, err := parsePatternKind("A2A"); err == nil {
-		t.Error("parsePatternKind accepted a non-screening pattern")
+	if _, err := ParsePatternKind("A2A"); err == nil {
+		t.Error("ParsePatternKind accepted a non-screening pattern")
 	}
 }

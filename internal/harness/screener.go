@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"diam2/internal/fluid"
+	"diam2/internal/sim"
+	"diam2/internal/topo"
+	"diam2/internal/traffic"
+)
+
+// Screener answers individual screening points on demand — the
+// long-lived counterpart of ScreenSweep for callers like the
+// design-space query service, where points arrive one query at a time
+// instead of as a grid. Topology builds, fluid models, worst-case
+// permutations and per-(routing, pattern) link loads are computed once
+// and cached for the Screener's lifetime, so a warm Point call is a
+// single EstimateAt evaluation. All methods are safe for concurrent
+// use.
+//
+// A Screener pins the same inputs ScreenSweep derives from its Scale —
+// the sim config and the pattern seed — so a point answered here is
+// value-identical to the same point answered by a sweep at that scale.
+type Screener struct {
+	presets []Preset
+	byName  map[string]Preset
+	cfg     sim.Config
+	patSeed int64
+
+	mu     sync.Mutex
+	topos  map[string]*screenerTopo
+	combos map[screenerComboKey]*screenCombo
+}
+
+// screenerTopo caches one preset's built topology, fluid model and
+// (lazily) its worst-case permutation.
+type screenerTopo struct {
+	preset Preset
+	family string
+	tp     topo.Topology
+	model  *fluid.Model
+	wcOnce sync.Once
+	wc     *traffic.Permutation
+	wcErr  error
+}
+
+type screenerComboKey struct {
+	topo string
+	alg  AlgKind
+	pat  PatternKind
+}
+
+// NewScreener builds a screener over the presets at the given scale.
+// Topologies are built eagerly (errors surface here, not per query);
+// everything load- and pattern-dependent is computed lazily.
+func NewScreener(presets []Preset, scale Scale) (*Screener, error) {
+	s := &Screener{
+		presets: presets,
+		byName:  make(map[string]Preset, len(presets)),
+		cfg:     scale.SimConfig(1),
+		patSeed: scale.patternSeed(),
+		topos:   make(map[string]*screenerTopo, len(presets)),
+		combos:  make(map[screenerComboKey]*screenCombo),
+	}
+	for _, p := range presets {
+		if _, dup := s.byName[p.Name]; dup {
+			return nil, fmt.Errorf("harness: duplicate preset %s", p.Name)
+		}
+		tp, err := p.Build()
+		if err != nil {
+			return nil, fmt.Errorf("harness: building %s: %w", p.Name, err)
+		}
+		s.byName[p.Name] = p
+		s.topos[p.Name] = &screenerTopo{
+			preset: p,
+			family: p.Family(),
+			tp:     tp,
+			model:  fluid.New(tp),
+		}
+	}
+	return s, nil
+}
+
+// Presets returns the screener's preset set in construction order.
+func (s *Screener) Presets() []Preset { return s.presets }
+
+// Preset returns the named preset.
+func (s *Screener) Preset(name string) (Preset, bool) {
+	p, ok := s.byName[name]
+	return p, ok
+}
+
+// topoState returns the cached per-topology state.
+func (s *Screener) topoState(name string) (*screenerTopo, error) {
+	if st, ok := s.topos[name]; ok {
+		return st, nil
+	}
+	return nil, fmt.Errorf("harness: unknown topology %q (know %d presets)", name, len(s.presets))
+}
+
+// worstCase returns the topology's pinned worst-case permutation,
+// drawing it on first use with the screener's pattern seed — the same
+// draw ScreenSweep makes.
+func (st *screenerTopo) worstCase(patSeed int64) (*traffic.Permutation, error) {
+	st.wcOnce.Do(func() {
+		perm, err := traffic.WorstCase(st.tp, rand.New(rand.NewSource(patSeed)))
+		if err != nil {
+			st.wcErr = err
+			return
+		}
+		st.wc = &perm
+	})
+	return st.wc, st.wcErr
+}
+
+// combo returns the shared link-load computation for one
+// (topology, routing, pattern), creating it on first use.
+func (s *Screener) combo(st *screenerTopo, alg AlgKind, pat PatternKind) (*screenCombo, error) {
+	rt, err := fluidRouting(alg)
+	if err != nil {
+		return nil, err
+	}
+	var wc *traffic.Permutation
+	if pat == PatWC {
+		if wc, err = st.worstCase(s.patSeed); err != nil {
+			return nil, err
+		}
+	}
+	key := screenerComboKey{st.preset.Name, alg, pat}
+	s.mu.Lock()
+	c, ok := s.combos[key]
+	if !ok {
+		c = &screenCombo{}
+		s.combos[key] = c
+	}
+	s.mu.Unlock()
+	c.once.Do(func() {
+		c.loads, c.hops, c.err = st.model.Loads(fluidPattern(pat), rt, wc)
+	})
+	return c, c.err
+}
+
+// Point answers one screening point analytically. The result is
+// value-identical to the same point of a ScreenSweep at the screener's
+// scale.
+func (s *Screener) Point(topoName string, alg AlgKind, pat PatternKind, load float64) (ScreenPoint, error) {
+	st, err := s.topoState(topoName)
+	if err != nil {
+		return ScreenPoint{}, err
+	}
+	c, err := s.combo(st, alg, pat)
+	if err != nil {
+		return ScreenPoint{}, err
+	}
+	return ScreenPoint{
+		Topo:     st.preset.Name,
+		Family:   st.family,
+		Alg:      alg.String(),
+		Pat:      pat.String(),
+		Estimate: st.model.EstimateAt(c.loads, c.hops, load, s.cfg),
+	}, nil
+}
+
+// Ladder answers the (alg, pat) combination across every preset and
+// the given loads, in grid order (presets outermost) — the input
+// SelectEscalations expects when deciding whether one query's point
+// sits in an escalation-worthy neighborhood.
+func (s *Screener) Ladder(alg AlgKind, pat PatternKind, loads []float64) ([]ScreenPoint, error) {
+	out := make([]ScreenPoint, 0, len(s.presets)*len(loads))
+	for _, p := range s.presets {
+		for _, load := range loads {
+			sp, err := s.Point(p.Name, alg, pat, load)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sp)
+		}
+	}
+	return out, nil
+}

@@ -67,6 +67,16 @@ func (s Scale) pointConfig(pointKey string) store.PointConfig {
 	}
 }
 
+// CanonicalPointKey resolves the content address a point with this
+// scheduler key stores under at this scale — the key a sweep consults
+// before recomputing, and the one the query service uses to recognize
+// already-answered points. Points that pin a UGAL configuration
+// (adaptive sweeps) fold it in separately (see storePoints) and are
+// not covered.
+func (s Scale) CanonicalPointKey(pointKey string) string {
+	return s.pointConfig(pointKey).Key()
+}
+
 // storePoints wraps a sweep's points with store consultation and
 // recording. Lookups are skipped under -force and whenever telemetry
 // is collecting (see the file comment); recording always happens.
@@ -137,6 +147,7 @@ func computeAndRecord[T any](sc Scale, key, pointKey string, run func(ctx contex
 		BaseSeed:     sc.Seed,
 		EngineSchema: sim.EngineSchema,
 		Engine:       buildinfo.Version(),
+		Tier:         sc.Tier,
 		Worker:       worker,
 		WallMS:       float64(time.Since(start)) / float64(time.Millisecond),
 		Created:      time.Now().UTC().Format(time.RFC3339),

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"diam2/internal/harness"
+	"diam2/internal/store"
+)
+
+// BenchmarkServeQuery measures the two latency-critical tiers of the
+// query service (the acceptance bar is single-digit milliseconds for
+// both): warm-cache replays a stored fluid record, cold-fluid computes
+// and records a fresh analytic point. Escalation is disabled so the
+// numbers isolate the resolution path itself.
+func BenchmarkServeQuery(b *testing.B) {
+	newBenchServer := func(b *testing.B) *Server {
+		st, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = st.Close() })
+		s, err := New(Config{
+			Presets: harness.SmallPresets(),
+			Scale:   harness.QuickScale(),
+			Store:   st,
+			Band:    0, // isolate the cache/fluid path
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = s.Close(context.Background()) })
+		return s
+	}
+
+	b.Run("warm-cache", func(b *testing.B) {
+		s := newBenchServer(b)
+		q := Query{Topo: "SF(q=5,p=3)", Routing: "MIN", Pattern: "UNI", Load: 0.5}
+		if _, err := s.Resolve(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ans, err := s.Resolve(context.Background(), q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ans.Tier != TierFluidCache {
+				b.Fatalf("tier %q, want %q", ans.Tier, TierFluidCache)
+			}
+		}
+	})
+
+	b.Run("cold-fluid", func(b *testing.B) {
+		s := newBenchServer(b)
+		q := Query{Topo: "SF(q=5,p=3)", Routing: "MIN", Pattern: "UNI"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh load each iteration keeps every query a cache
+			// miss; steps of 1e-4 stay distinct under the point key's
+			// %.4f load formatting.
+			q.Load = float64(i%9999+1) / 10000
+			ans, err := s.Resolve(context.Background(), q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ans.Tier != TierFluid {
+				b.Fatalf("tier %q, want %q", ans.Tier, TierFluid)
+			}
+		}
+	})
+}

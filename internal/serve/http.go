@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"diam2/internal/telemetry"
+)
+
+// Register mounts the query endpoints on the observability mux (they
+// appear on its "/" index automatically):
+//
+//	GET/POST /query        one query (params or JSON body)
+//	POST     /query/batch  many queries / a whole grid
+//	GET      /ticket/<id>  poll one escalation
+//	GET      /tickets      list escalations
+func (s *Server) Register(mux *telemetry.Mux) {
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/query/batch", s.handleBatch)
+	mux.HandleFunc("/ticket/", s.handleTicket)
+	mux.HandleFunc("/tickets", s.handleTickets)
+}
+
+// admit takes an admission slot, answering 429 + Retry-After when the
+// server is saturated. The returned release func is nil on rejection.
+func (s *Server) admit(w http.ResponseWriter) func() {
+	select {
+	case s.queue <- struct{}{}:
+		return func() { <-s.queue }
+	default:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "query queue full; retry shortly", http.StatusTooManyRequests)
+		return nil
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// resolveError maps a Resolve failure to its HTTP status.
+func resolveError(w http.ResponseWriter, err error) {
+	var bad *BadQueryError
+	if errors.As(err, &bad) {
+		http.Error(w, bad.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+// parseQuery reads one query from URL parameters (GET) or a JSON body
+// (POST).
+func parseQuery(req *http.Request) (Query, error) {
+	if req.Method == http.MethodPost {
+		var q Query
+		if err := json.NewDecoder(req.Body).Decode(&q); err != nil {
+			return Query{}, badQuery("bad query body: %v", err)
+		}
+		return q, nil
+	}
+	v := req.URL.Query()
+	q := Query{
+		Topo:    v.Get("topo"),
+		Routing: v.Get("routing"),
+		Pattern: v.Get("pattern"),
+	}
+	if lv := v.Get("load"); lv != "" {
+		if _, err := fmt.Sscanf(lv, "%g", &q.Load); err != nil {
+			return Query{}, badQuery("load %q is not a number", lv)
+		}
+	}
+	return q, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodPost {
+		http.Error(w, "GET with ?topo=&routing=&pattern=&load= or POST a JSON query", http.StatusMethodNotAllowed)
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	q, err := parseQuery(req)
+	if err != nil {
+		resolveError(w, err)
+		return
+	}
+	ans, err := s.Resolve(req.Context(), q)
+	if err != nil {
+		resolveError(w, err)
+		return
+	}
+	writeJSON(w, ans)
+}
+
+// BatchRequest asks for many queries at once: an explicit list, a
+// grid cross-product, or both. Empty grid axes default to everything
+// the server serves (all presets, MIN+INR, UNI+WC, the decision
+// ladder's loads).
+type BatchRequest struct {
+	Queries []Query    `json:"queries,omitempty"`
+	Grid    *BatchGrid `json:"grid,omitempty"`
+}
+
+// BatchGrid is the cross-product half of a batch request.
+type BatchGrid struct {
+	Topos    []string  `json:"topos,omitempty"`
+	Routings []string  `json:"routings,omitempty"`
+	Patterns []string  `json:"patterns,omitempty"`
+	Loads    []float64 `json:"loads,omitempty"`
+}
+
+// BatchResponse answers a batch request, answers in request order
+// (grid expansion: topos, routings, patterns outermost to loads
+// innermost, after any explicit queries).
+type BatchResponse struct {
+	Count     int      `json:"count"`
+	Answers   []Answer `json:"answers"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+// maxBatch bounds one batch request; the full default grid (3 presets
+// x 2 routings x 2 patterns x 90 loads = 1080) fits comfortably.
+const maxBatch = 8192
+
+// expand flattens a batch request into its query list.
+func (s *Server) expand(br BatchRequest) ([]Query, error) {
+	queries := append([]Query(nil), br.Queries...)
+	if br.Grid != nil {
+		g := *br.Grid
+		if len(g.Topos) == 0 {
+			for _, p := range s.cfg.Presets {
+				g.Topos = append(g.Topos, p.Name)
+			}
+		}
+		if len(g.Routings) == 0 {
+			g.Routings = []string{"MIN", "INR"}
+		}
+		if len(g.Patterns) == 0 {
+			g.Patterns = []string{"UNI", "WC"}
+		}
+		if len(g.Loads) == 0 {
+			g.Loads = s.loads
+		}
+		for _, topo := range g.Topos {
+			for _, rt := range g.Routings {
+				for _, pat := range g.Patterns {
+					for _, load := range g.Loads {
+						queries = append(queries, Query{Topo: topo, Routing: rt, Pattern: pat, Load: load})
+					}
+				}
+			}
+		}
+	}
+	if len(queries) == 0 {
+		return nil, badQuery("empty batch: give queries and/or a grid")
+	}
+	if len(queries) > maxBatch {
+		return nil, badQuery("batch of %d exceeds the %d-query cap", len(queries), maxBatch)
+	}
+	return queries, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST a JSON {\"queries\": [...], \"grid\": {...}} body", http.StatusMethodNotAllowed)
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	var br BatchRequest
+	if err := json.NewDecoder(req.Body).Decode(&br); err != nil {
+		resolveError(w, badQuery("bad batch body: %v", err))
+		return
+	}
+	queries, err := s.expand(br)
+	if err != nil {
+		resolveError(w, err)
+		return
+	}
+	start := s.now()
+	resp := BatchResponse{Count: len(queries), Answers: make([]Answer, 0, len(queries))}
+	for _, q := range queries {
+		ans, err := s.Resolve(req.Context(), q)
+		if err != nil {
+			resolveError(w, fmt.Errorf("query %+v: %w", q, err))
+			return
+		}
+		resp.Answers = append(resp.Answers, ans)
+	}
+	resp.ElapsedMS = float64(s.now().Sub(start)) / float64(time.Millisecond)
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleTicket(w http.ResponseWriter, req *http.Request) {
+	id := strings.TrimPrefix(req.URL.Path, "/ticket/")
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "GET /ticket/<id>", http.StatusBadRequest)
+		return
+	}
+	t, ok := s.Ticket(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no ticket %q", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, t)
+}
+
+func (s *Server) handleTickets(w http.ResponseWriter, req *http.Request) {
+	tickets := s.Tickets()
+	writeJSON(w, struct {
+		Count   int      `json:"count"`
+		Tickets []Ticket `json:"tickets"`
+	}{Count: len(tickets), Tickets: tickets})
+}

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"diam2/internal/telemetry"
+)
+
+func newHTTPServer(t *testing.T, mod func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	s := newTestServer(t, mod)
+	mux := telemetry.NewMux()
+	s.Register(mux)
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: bad JSON %v in %s", url, err, body)
+	}
+	return resp
+}
+
+func TestHTTPQuery(t *testing.T) {
+	_, hs := newHTTPServer(t, nil)
+
+	var ans Answer
+	getJSON(t, hs.URL+"/query?topo=SF(q=5,p=3)&routing=MIN&pattern=WC&load=0.18", &ans)
+	if ans.Tier != TierFluid || ans.Estimate == nil {
+		t.Fatalf("cold answer: %+v", ans)
+	}
+	if ans.Escalation == nil || ans.Escalation.Ticket == "" {
+		t.Fatalf("no escalation ticket: %+v", ans.Escalation)
+	}
+
+	// POST form of the same query is a cache hit now.
+	body := strings.NewReader(`{"topo":"SF(q=5,p=3)","routing":"MIN","pattern":"WC","load":0.18}`)
+	resp, err := http.Post(hs.URL+"/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var warm Answer
+	if err := json.NewDecoder(resp.Body).Decode(&warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Tier != TierFluidCache && warm.Tier != TierSimCache {
+		t.Fatalf("warm tier %q", warm.Tier)
+	}
+
+	// Poll the ticket endpoint to done.
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		var tk Ticket
+		getJSON(t, hs.URL+"/ticket/"+ans.Escalation.Ticket, &tk)
+		if tk.State == TicketDone {
+			if tk.Sim == nil || tk.Sim.Throughput <= 0 {
+				t.Fatalf("done ticket: %+v", tk)
+			}
+			break
+		}
+		if tk.State == TicketFailed {
+			t.Fatalf("ticket failed: %s", tk.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ticket stuck in %s", tk.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var list struct {
+		Count   int      `json:"count"`
+		Tickets []Ticket `json:"tickets"`
+	}
+	getJSON(t, hs.URL+"/tickets", &list)
+	if list.Count != 1 || len(list.Tickets) != 1 {
+		t.Fatalf("ticket list: %+v", list)
+	}
+
+	// Error surfaces.
+	for path, want := range map[string]int{
+		"/query?topo=Nope&load=0.5":        http.StatusBadRequest,
+		"/query?topo=SF(q=5,p=3)&load=abc": http.StatusBadRequest,
+		"/ticket/":                         http.StatusBadRequest,
+		"/ticket/esc-999999":               http.StatusNotFound,
+		"/query/batch":                     http.StatusMethodNotAllowed,
+	} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestHTTPBatchGrid(t *testing.T) {
+	s, hs := newHTTPServer(t, nil)
+
+	// A constrained grid: 1 topo x 1 routing x 1 pattern x ladder(2).
+	body := strings.NewReader(`{"grid": {"topos": ["SF(q=5,p=3)"], "routings": ["MIN"], "patterns": ["WC"]}}`)
+	resp, err := http.Post(hs.URL+"/query/batch", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, raw)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Count != len(testLadder) || len(br.Answers) != len(testLadder) {
+		t.Fatalf("batch count %d answers %d, want %d", br.Count, len(br.Answers), len(testLadder))
+	}
+	for i, ans := range br.Answers {
+		if ans.Query.Load != testLadder[i] {
+			t.Errorf("answer %d at load %v, want %v (grid order)", i, ans.Query.Load, testLadder[i])
+		}
+		if ans.Estimate == nil {
+			t.Errorf("answer %d has no estimate", i)
+		}
+	}
+
+	// Both SF WC MIN ladder loads sit in the band: two tickets.
+	if got := len(s.Tickets()); got != 2 {
+		t.Errorf("%d tickets after batch, want 2", got)
+	}
+
+	// Empty and oversized batches are client errors.
+	for _, bad := range []string{
+		`{}`,
+		fmt.Sprintf(`{"grid": {"loads": %s}}`, bigLoadsJSON(maxBatch)),
+	} {
+		resp, err := http.Post(hs.URL+"/query/batch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("batch %.40s...: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// bigLoadsJSON builds a loads array that overflows maxBatch once
+// crossed with the default topo/routing/pattern axes.
+func bigLoadsJSON(n int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%.6f", float64(i+1)/float64(n+1))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// TestHTTPBackpressure: with a single admission slot held by a stalled
+// query, the next request bounces with 429 + Retry-After instead of
+// queueing without bound.
+func TestHTTPBackpressure(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s, hs := newHTTPServer(t, func(c *Config) {
+		c.QueueMax = 1
+		c.Band = 0
+	})
+	s.onFluidCompute = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(hs.URL + "/query?topo=OFT(k=6)&load=0.33")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("stalled query finished %d", resp.StatusCode)
+			}
+		}
+		errc <- err
+	}()
+
+	<-entered // the slot is held inside the computation
+	resp, err := http.Get(hs.URL + "/query?topo=OFT(k=6)&load=0.34")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	// Slot released: the previously bounced query goes through.
+	var ans Answer
+	getJSON(t, hs.URL+"/query?topo=OFT(k=6)&load=0.34", &ans)
+	if ans.Tier != TierFluid {
+		t.Fatalf("post-release tier %q", ans.Tier)
+	}
+}
+
+// TestGracefulDrain: Shutdown while a query is mid-computation — the
+// in-flight response still completes with its full body, matching the
+// SIGTERM path in cmd/diam2serve.
+func TestGracefulDrain(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Band = 0 })
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.onFluidCompute = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	mux := telemetry.NewMux()
+	s.Register(mux)
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+
+	ansc := make(chan Answer, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(hs.URL + "/query?topo=MLFM(h=6)&load=0.5")
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer resp.Body.Close()
+		var ans Answer
+		if resp.StatusCode != http.StatusOK {
+			errc <- fmt.Errorf("in-flight query answered %d during drain", resp.StatusCode)
+			return
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+			errc <- fmt.Errorf("in-flight response truncated: %w", err)
+			return
+		}
+		ansc <- ans
+	}()
+
+	<-entered // the query is mid-computation
+	shutDone := make(chan error, 1)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() { shutDone <- hs.Config.Shutdown(shutCtx) }()
+
+	// Give Shutdown time to stop accepting, then let the query finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case ans := <-ansc:
+		if ans.Estimate == nil || ans.Tier != TierFluid {
+			t.Fatalf("drained answer: %+v", ans)
+		}
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight query never completed")
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := s.Close(shutCtx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -45,6 +45,7 @@ type Record struct {
 	EngineSchema int             `json:"engine_schema"`    // sim.EngineSchema at run time
 	StoreSchema  int             `json:"store_schema"`     // Schema at write time
 	Engine       string          `json:"engine"`           // build/version of the producing binary
+	Tier         string          `json:"tier,omitempty"`   // result tier: "" = flit-level sim, TierFluid = analytic
 	Worker       string          `json:"worker,omitempty"` // campaign worker that produced it, if any
 	WallMS       float64         `json:"wall_ms"`          // point wall time, milliseconds
 	Created      string          `json:"created"`          // RFC3339 UTC
@@ -607,6 +608,27 @@ func (s *Store) Stats() Stats {
 		Misses:   s.misses,
 		Puts:     s.puts,
 	}
+}
+
+// SegmentStats reports the store's on-disk footprint: the segment
+// files (seg-*.jsonl) present in the directory and their total bytes.
+// Manifest, index, lock and stray temp files are excluded. The glob
+// runs fresh rather than trusting the open-time scan, so segments
+// appended by cooperating shared-lock writers are counted too.
+func (s *Store) SegmentStats() (segments int, bytes int64, err error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, segGlob))
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, name := range names {
+		fi, err := os.Stat(name)
+		if err != nil {
+			return 0, 0, err
+		}
+		segments++
+		bytes += fi.Size()
+	}
+	return segments, bytes, nil
 }
 
 // Corruptions returns the records skipped when the store was opened.

@@ -4,11 +4,15 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 	"time"
+
+	"diam2/internal/metrics"
 )
 
 // Registry tracks the collectors of a running process so a long sweep
@@ -26,7 +30,58 @@ type Registry struct {
 	// Screening-tier counters (see harness.ScreenSweep): analytic
 	// estimates answered and points escalated to the simulator.
 	screenEstimates, screenEscalations int64
-	campaign                           func() any
+	// Query-service counters: answered design-space queries by
+	// resolution tier (see internal/serve), each with a latency
+	// histogram in milliseconds.
+	queries  map[string]*queryStat
+	campaign func() any
+}
+
+// queryStat accumulates one resolution tier's serving activity.
+type queryStat struct {
+	count int64
+	lat   *metrics.Histogram // milliseconds
+}
+
+// queryLatencyBucketMS × queryLatencyBuckets bound the query latency
+// histogram: 0.25 ms resolution up to 2 s, overflow clamped to the
+// last bucket (a query that slow is an outage, not a distribution).
+const (
+	queryLatencyBucketMS = 0.25
+	queryLatencyBuckets  = 8000
+)
+
+// ObserveQuery folds one answered design-space query into the per-tier
+// serving counters. tier is the resolution tier that produced the
+// answer (e.g. "sim-cache", "fluid-cache", "fluid"); d is the
+// end-to-end resolution latency.
+func (r *Registry) ObserveQuery(tier string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.queries == nil {
+		r.queries = make(map[string]*queryStat)
+	}
+	st := r.queries[tier]
+	if st == nil {
+		st = &queryStat{lat: metrics.NewHistogram(queryLatencyBucketMS, queryLatencyBuckets)}
+		r.queries[tier] = st
+	}
+	st.count++
+	st.lat.Add(float64(d) / float64(time.Millisecond))
+}
+
+// QueryTierSnapshot is one tier's serving totals in a registry
+// snapshot: the answer count and latency distribution in milliseconds.
+type QueryTierSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
 }
 
 // AddScreen folds screening-tier activity into the registry: analytic
@@ -106,6 +161,9 @@ type RegistrySnapshot struct {
 	// Screening-tier totals (analytic estimates carry no collector).
 	ScreenEstimates   int64 `json:"screen_estimates"`
 	ScreenEscalations int64 `json:"screen_escalations"`
+	// Query-service totals by resolution tier; absent until the first
+	// ObserveQuery.
+	Queries map[string]QueryTierSnapshot `json:"queries,omitempty"`
 }
 
 // Snapshot captures the live collectors (in attach order) and the
@@ -130,6 +188,29 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 		ScreenEstimates:    r.screenEstimates,
 		ScreenEscalations:  r.screenEscalations,
 	}
+	if len(r.queries) > 0 {
+		out.Queries = make(map[string]QueryTierSnapshot, len(r.queries))
+		for tier, st := range r.queries {
+			// Observations past the histogram range report +Inf
+			// percentiles; clamp to the exact max so the snapshot
+			// stays JSON-encodable.
+			pct := func(p float64) float64 {
+				v := st.lat.Percentile(p)
+				if math.IsInf(v, 1) {
+					return st.lat.Max()
+				}
+				return v
+			}
+			out.Queries[tier] = QueryTierSnapshot{
+				Count:  st.count,
+				MeanMS: st.lat.Mean(),
+				P50MS:  pct(50),
+				P95MS:  pct(95),
+				P99MS:  pct(99),
+				MaxMS:  st.lat.Max(),
+			}
+		}
+	}
 	r.mu.Unlock() // snapshot collectors outside the registry lock
 	for i := 1; i < len(cols); i++ {
 		for j := i; j > 0 && cols[j].seq < cols[j-1].seq; j-- {
@@ -142,13 +223,73 @@ func (r *Registry) Snapshot() *RegistrySnapshot {
 	return out
 }
 
+// Mux is the observability mux with a self-describing index: every
+// route registered through Handle/HandleFunc is remembered, and the
+// "/" page enumerates them — a process that mounts extra endpoints
+// (the query service's /query, the campaign coordinator's
+// /campaign/submit) lists them automatically instead of relying on a
+// hand-maintained string going stale.
+type Mux struct {
+	mu     sync.Mutex
+	mux    *http.ServeMux
+	routes []string
+}
+
+// NewMux returns an empty route-enumerating mux whose "/" index lists
+// the registered routes.
+func NewMux() *Mux {
+	m := &Mux{mux: http.NewServeMux()}
+	m.mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "diam2 endpoints:")
+		for _, r := range m.Routes() {
+			fmt.Fprintln(w, "  "+r)
+		}
+	})
+	return m
+}
+
+// Handle registers a handler under pattern and records the pattern for
+// the index page.
+func (m *Mux) Handle(pattern string, h http.Handler) {
+	m.mu.Lock()
+	m.routes = append(m.routes, pattern)
+	m.mu.Unlock()
+	m.mux.Handle(pattern, h)
+}
+
+// HandleFunc registers a handler function under pattern and records
+// the pattern for the index page.
+func (m *Mux) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	m.Handle(pattern, http.HandlerFunc(h))
+}
+
+// Routes returns the registered patterns, sorted. The "/" index route
+// itself is not listed.
+func (m *Mux) Routes() []string {
+	m.mu.Lock()
+	out := append([]string(nil), m.routes...)
+	m.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP dispatches to the registered handlers.
+func (m *Mux) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	m.mux.ServeHTTP(w, req)
+}
+
 // Handler returns the observability mux: /telemetry (JSON registry
 // snapshot), /campaign (JSON campaign status, when SetCampaign has
 // installed a source), /debug/vars (expvar) and /debug/pprof/*
 // (runtime profiles) — everything a long `diam2sweep -j N` run
-// exposes live.
-func (r *Registry) Handler() http.Handler {
-	mux := http.NewServeMux()
+// exposes live. The result is a route-enumerating Mux, so callers may
+// mount additional endpoints on it and the "/" index stays accurate.
+func (r *Registry) Handler() *Mux {
+	mux := NewMux()
 	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -178,13 +319,6 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Path != "/" {
-			http.NotFound(w, req)
-			return
-		}
-		fmt.Fprintln(w, "diam2 telemetry: /telemetry /campaign /debug/vars /debug/pprof/")
-	})
 	return mux
 }
 

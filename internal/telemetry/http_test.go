@@ -2,10 +2,12 @@ package telemetry
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestRegistryLifecycle: attach exposes a collector live, detach folds
@@ -106,12 +108,89 @@ func TestHTTPHandler(t *testing.T) {
 	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ status %d", code)
 	}
-	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "diam2 telemetry") {
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "diam2 endpoints") {
 		t.Errorf("index status %d body %q", code, body)
 	}
 	if code, _ := get("/nope"); code != http.StatusNotFound {
 		t.Errorf("unknown path status %d", code)
 	}
+}
+
+// TestIndexListsEveryRoute: the "/" index enumerates every route
+// registered on the mux — the registry's own endpoints and anything a
+// caller mounts afterwards — so the page cannot go stale.
+func TestIndexListsEveryRoute(t *testing.T) {
+	r := NewRegistry()
+	mux := r.Handler()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {})
+	mux.HandleFunc("/query/batch", func(w http.ResponseWriter, req *http.Request) {})
+	routes := mux.Routes()
+	for _, want := range []string{"/telemetry", "/campaign", "/debug/vars", "/debug/pprof/", "/query", "/query/batch"} {
+		found := false
+		for _, got := range routes {
+			if got == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Routes() missing %q: %v", want, routes)
+		}
+	}
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	body := sb.String()
+	for _, route := range routes {
+		if !strings.Contains(body, route) {
+			t.Errorf("index page missing route %q:\n%s", route, body)
+		}
+	}
+}
+
+// TestObserveQuery: per-tier query counters and latency summaries land
+// in the snapshot, and out-of-range latencies keep it JSON-encodable.
+func TestObserveQuery(t *testing.T) {
+	r := NewRegistry()
+	if r.Snapshot().Queries != nil {
+		t.Error("Queries non-nil before any ObserveQuery")
+	}
+	for i := 0; i < 10; i++ {
+		r.ObserveQuery("fluid", 2*time.Millisecond)
+	}
+	r.ObserveQuery("sim-cache", 500*time.Microsecond)
+	r.ObserveQuery("sim-cache", 10*time.Second) // past the histogram range
+	s := r.Snapshot()
+	if got := s.Queries["fluid"]; got.Count != 10 || got.MeanMS < 1.9 || got.MeanMS > 2.1 {
+		t.Errorf("fluid tier = %+v", got)
+	}
+	sc := s.Queries["sim-cache"]
+	if sc.Count != 2 || sc.MaxMS < 9999 {
+		t.Errorf("sim-cache tier = %+v", sc)
+	}
+	if math.IsInf(sc.P99MS, 0) || math.IsNaN(sc.P99MS) {
+		t.Errorf("P99 %v would not survive JSON encoding", sc.P99MS)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Errorf("snapshot not JSON-encodable: %v", err)
+	}
+	// Nil registry is a no-op.
+	var nilReg *Registry
+	nilReg.ObserveQuery("fluid", time.Millisecond)
 }
 
 // TestServe: the background server binds, answers, and shuts down.
